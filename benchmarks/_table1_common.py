@@ -1,0 +1,86 @@
+"""Shared logic for the per-dataset Table I benchmarks.
+
+Every Table I benchmark module does the same two things for its dataset:
+
+* **time** the hardware-generation + analysis step of every reported design
+  (the part of the flow an EDA engineer iterates on once models are trained);
+* **check the reproduction shape**: the measured row must stay in the same
+  regime as the published row, and the qualitative orderings the paper's
+  conclusions rest on (who wins energy, who fits the battery, who clocks
+  faster) must hold.
+
+Absolute tolerances are deliberately loose (see DESIGN.md's calibration
+policy): the PDK, the EDA tooling and the datasets are all substitutions, so
+only the regime and the ordering are meaningful reproduction targets.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reference import PAPER_CLAIMS
+
+
+def bench_row(benchmark, entry):
+    """Benchmark regenerating and re-analysing one Table I design."""
+    flow = entry.flow_result
+    design = flow.design
+    X_test, y_test = flow.split.X_test, flow.split.y_test
+
+    def regenerate():
+        return design.evaluate(X_test, y_test)
+
+    report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert report.energy_mj > 0
+    return report
+
+
+def check_proposed_row(entry, assert_same_regime):
+    """Regime checks of one measured 'ours' row against the published row."""
+    measured, published = entry.measured, entry.reference
+    assert abs(measured.accuracy_percent - published.accuracy_percent) <= 8.0
+    assert_same_regime(measured.area_cm2, published.area_cm2, factor=2.5)
+    assert_same_regime(measured.power_mw, published.power_mw, factor=2.0)
+    assert_same_regime(measured.energy_mj, published.energy_mj, factor=2.5)
+    assert_same_regime(measured.frequency_hz, published.frequency_hz, factor=2.0)
+    # The battery-feasibility claim must hold row by row.
+    assert measured.power_mw <= PAPER_CLAIMS["battery_budget_mw"]
+
+
+def check_svm2_row(entry, assert_same_regime):
+    """Regime checks of the exact parallel-SVM baseline row."""
+    measured, published = entry.measured, entry.reference
+    assert abs(measured.accuracy_percent - published.accuracy_percent) <= 10.0
+    assert_same_regime(measured.power_mw, published.power_mw, factor=3.0)
+    assert_same_regime(measured.energy_mj, published.energy_mj, factor=2.5)
+
+
+def check_svm3_row(entry, assert_same_regime):
+    """Regime checks of the approximate parallel-SVM baseline row."""
+    measured, published = entry.measured, entry.reference
+    assert abs(measured.accuracy_percent - published.accuracy_percent) <= 12.0
+    assert_same_regime(measured.energy_mj, published.energy_mj, factor=3.5)
+
+
+def check_mlp4_row(entry, assert_same_regime):
+    """Regime checks of the bespoke-MLP baseline row.
+
+    The published MLP baselines were aggressively co-designed (pruned to a
+    handful of neurons per dataset), which our generic MLP trainer does not
+    replicate, so only the energy order of magnitude is checked.
+    """
+    measured, published = entry.measured, entry.reference
+    assert_same_regime(measured.energy_mj, published.energy_mj, factor=12.0)
+
+
+def check_block_orderings(block):
+    """The qualitative Table I conclusions for one dataset block."""
+    ours = block["ours"].measured
+    for model in ("svm[2]", "svm[3]"):
+        if model in block:
+            baseline = block[model].measured
+            # The headline: the sequential design wins on energy.
+            assert ours.energy_mj < baseline.energy_mj
+            # And does so at comparable (or better) accuracy.
+            assert ours.accuracy_percent >= baseline.accuracy_percent - 4.0
+    if "svm[2]" in block:
+        # Folded datapath -> shorter critical path -> higher clock frequency.
+        assert ours.frequency_hz > block["svm[2]"].measured.frequency_hz

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's Table I with the *full* flow
+configuration (full-size synthetic datasets, the paper's precision policy).
+Training is the expensive part, so the regenerated table is built once per
+benchmark session and shared by every benchmark module; the quantities each
+benchmark times are the hardware-generation / analysis steps, which is where
+an EDA flow spends its time once models are trained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_flow import FlowConfig
+from repro.eval.table1 import Table1, generate_table1, table1_aggregates
+
+#: Configuration used by every benchmark: the paper's default flow.
+BENCHMARK_CONFIG = FlowConfig()
+
+
+@pytest.fixture(scope="session")
+def table1() -> Table1:
+    """The fully regenerated Table I (all datasets, all reported models)."""
+    return generate_table1(config=BENCHMARK_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def aggregates(table1):
+    """Headline aggregates (energy improvements, accuracy gains, power stats)."""
+    return table1_aggregates(table1)
+
+
+def _assert_same_regime(measured: float, published: float, factor: float = 3.0) -> None:
+    """Assert a measured quantity lies within ``factor``x of the published one.
+
+    The reproduction replaces the EGFET PDK, Synopsys tooling and the real UCI
+    datasets with calibrated stand-ins (see DESIGN.md), so absolute equality is
+    not expected — but every reproduced quantity must stay in the same regime.
+    """
+    assert measured > 0, "measured quantity must be positive"
+    assert published / factor <= measured <= published * factor, (
+        f"measured {measured:.3f} outside {factor}x regime of published {published:.3f}"
+    )
+
+
+@pytest.fixture(scope="session")
+def assert_same_regime():
+    """The regime-check helper, exposed as a fixture for benchmark modules."""
+    return _assert_same_regime
+
+
+def dataset_block(table, dataset):
+    """All Table1 entries of one dataset, keyed by model id."""
+    return {e.model: e for e in table.entries if e.dataset == dataset}
+
+
+@pytest.fixture(scope="session")
+def get_block(table1):
+    """Accessor returning one dataset's measured/reference rows by model id."""
+
+    def _get(dataset: str):
+        return dataset_block(table1, dataset)
+
+    return _get

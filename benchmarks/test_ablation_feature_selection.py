@@ -1,0 +1,76 @@
+"""Ablation A6: feature-count co-design (extension of the paper's flow).
+
+Each input feature of the sequential SVM costs one multiplier, one storage
+column and one sensor interface, so feature selection is a natural next
+co-design lever beyond the paper's precision search.  This benchmark sweeps
+the feature count on the Cardio design (21 correlated cardiotocography
+features, several of which are redundant) and checks that
+
+* hardware cost (area, power, energy) decreases monotonically-enough with
+  the feature count, and
+* a meaningful energy reduction is available within a small accuracy budget.
+"""
+
+import pytest
+
+from repro.core.design_flow import FlowConfig, prepare_dataset, quantize_split_inputs
+from repro.ml.feature_selection import co_design_sweep
+
+CONFIG = FlowConfig()
+DATASET = "cardio"
+FEATURE_COUNTS = (21, 16, 12, 8, 5)
+
+
+@pytest.fixture(scope="module")
+def sweep(get_block, benchmark_sweep_cache={}):
+    if "sweep" not in benchmark_sweep_cache:
+        split = quantize_split_inputs(prepare_dataset(DATASET, CONFIG), CONFIG.input_bits)
+        benchmark_sweep_cache["sweep"] = co_design_sweep(
+            split,
+            feature_counts=FEATURE_COUNTS,
+            input_bits=CONFIG.input_bits,
+            weight_bits=6,
+            svm_max_iter=CONFIG.svm_max_iter,
+            dataset=DATASET,
+        )
+    return benchmark_sweep_cache["sweep"]
+
+
+def test_feature_count_sweep(benchmark, get_block):
+    split = quantize_split_inputs(prepare_dataset(DATASET, CONFIG), CONFIG.input_bits)
+
+    def run_one_point():
+        return co_design_sweep(
+            split,
+            feature_counts=(12,),
+            input_bits=CONFIG.input_bits,
+            weight_bits=6,
+            svm_max_iter=CONFIG.svm_max_iter,
+            dataset=DATASET,
+        )
+
+    result = benchmark.pedantic(run_one_point, rounds=1, iterations=1)
+    assert result.points[0].n_features == 12
+
+
+def test_hardware_shrinks_with_feature_count(benchmark, sweep):
+    benchmark.pedantic(lambda: sweep.points, rounds=1, iterations=1)
+    by_count = {p.n_features: p for p in sweep.points}
+    counts = sorted(by_count)
+    areas = [by_count[c].area_cm2 for c in counts]
+    energies = [by_count[c].energy_mj for c in counts]
+    # Fewer features -> less hardware (strict at the extremes, monotone overall).
+    assert areas == sorted(areas)
+    assert energies[0] < energies[-1]
+    assert by_count[counts[0]].area_cm2 < 0.6 * by_count[counts[-1]].area_cm2
+
+
+def test_energy_saving_available_within_accuracy_budget(benchmark, sweep):
+    full = benchmark.pedantic(
+        lambda: max(sweep.points, key=lambda p: p.n_features), rounds=1, iterations=1
+    )
+    chosen = sweep.best_within_accuracy_drop(max_drop_percent=2.0)
+    assert chosen.accuracy_percent >= full.accuracy_percent - 2.0
+    # The redundant cardiotocography features leave real savings on the table.
+    assert chosen.energy_mj <= full.energy_mj
+    assert chosen.n_features <= full.n_features

@@ -1,0 +1,87 @@
+"""Ablation A3: post-training precision search (Section II).
+
+"We train our SVMs with low-precision inputs and post-training, we quantize
+the SVM weights and biases to the lowest precision that can retain
+acceptable accuracy."  This ablation sweeps the weight precision for each
+dataset, verifies that the automatic search lands on (near) the sweet spot,
+and quantifies how much hardware the precision search saves compared to a
+conservative 8-bit design.
+"""
+
+import pytest
+
+from repro.core.sequential_svm import SequentialSVMDesign
+from repro.eval.reference import TABLE1_DATASETS
+from repro.ml.quantization import quantize_linear_classifier, search_lowest_precision
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.svm import LinearSVC
+from repro.core.design_flow import FlowConfig, prepare_dataset, quantize_split_inputs
+
+CONFIG = FlowConfig()
+
+
+@pytest.fixture(scope="module")
+def trained(get_block):
+    """OvR classifiers and splits for every dataset (reuse the table's splits)."""
+    out = {}
+    for dataset in TABLE1_DATASETS:
+        flow = get_block(dataset)["ours"].flow_result
+        split = quantize_split_inputs(
+            prepare_dataset(dataset, CONFIG), CONFIG.input_bits
+        )
+        classifier = OneVsRestClassifier(LinearSVC(max_iter=CONFIG.svm_max_iter, random_state=0))
+        classifier.fit(split.X_train, split.y_train)
+        out[dataset] = (classifier, split, flow)
+    return out
+
+
+@pytest.mark.parametrize("dataset", list(TABLE1_DATASETS))
+def test_precision_sweep_and_search(benchmark, dataset, trained):
+    classifier, split, flow = trained[dataset]
+
+    def run_search():
+        return search_lowest_precision(
+            classifier,
+            split.X_test,
+            split.y_test,
+            input_bits=CONFIG.input_bits,
+            max_weight_bits=CONFIG.max_weight_bits,
+            min_weight_bits=CONFIG.min_weight_bits,
+            accuracy_tolerance=CONFIG.accuracy_tolerance,
+        )
+
+    result = benchmark.pedantic(run_search, rounds=1, iterations=1)
+
+    # The search must respect its own contract: accuracy within tolerance.
+    assert result.accuracy + CONFIG.accuracy_tolerance >= result.float_accuracy
+    assert CONFIG.min_weight_bits <= result.weight_bits <= CONFIG.max_weight_bits
+    # And it must agree with the bit width the full flow used for Table I.
+    assert result.weight_bits == flow.weight_bits_used
+
+    # Sweep: energy decreases (weakly) as precision decreases.
+    energies = {}
+    for bits in range(CONFIG.max_weight_bits, CONFIG.min_weight_bits - 1, -1):
+        quantized = quantize_linear_classifier(
+            classifier, input_bits=CONFIG.input_bits, weight_bits=bits
+        )
+        design = SequentialSVMDesign(quantized, dataset=dataset)
+        report = design.evaluate(split.X_test, split.y_test)
+        energies[bits] = report.energy_mj
+    assert energies[CONFIG.min_weight_bits] < energies[CONFIG.max_weight_bits]
+
+    # The searched precision saves hardware relative to a conservative 8-bit design.
+    assert energies[result.weight_bits] <= energies[CONFIG.max_weight_bits] * 1.001
+
+
+def test_low_precision_inputs_are_essential(benchmark, trained):
+    """Re-quantizing the inputs coarser than trained-for costs accuracy,
+    confirming that input precision is a co-design parameter, not a detail."""
+    classifier, split, _ = trained["pendigits"]
+    fine = benchmark.pedantic(
+        lambda: quantize_linear_classifier(classifier, input_bits=CONFIG.input_bits, weight_bits=6),
+        rounds=1, iterations=1,
+    )
+    coarse = quantize_linear_classifier(classifier, input_bits=1, weight_bits=6)
+    acc_fine = fine.score(split.X_test, split.y_test)
+    acc_coarse = coarse.score(split.X_test, split.y_test)
+    assert acc_fine > acc_coarse

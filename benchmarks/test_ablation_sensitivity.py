@@ -1,0 +1,59 @@
+"""Ablation A5: PDK-calibration sensitivity (robustness of the conclusions).
+
+The absolute numbers of this reproduction depend on a calibrated stand-in
+for the EGFET PDK.  This benchmark re-prices the already-generated Cardio
+and RedWine designs under +/-30 % perturbations of every calibration
+parameter (area, static power, switching energy, delay) and checks that the
+paper's three qualitative conclusions hold at *every* corner:
+
+* the sequential design still uses less energy than both parallel SVM baselines,
+* it still fits the Molex 30 mW printed battery,
+* it still clocks faster than the parallel designs.
+"""
+
+import pytest
+
+from repro.eval.sensitivity import DEFAULT_CORNERS, sweep_pdk_parameters
+
+
+@pytest.mark.parametrize("dataset", ["cardio", "redwine"])
+def test_conclusions_survive_pdk_perturbations(benchmark, dataset, get_block):
+    block = get_block(dataset)
+    flow_results = [
+        entry.flow_result
+        for model, entry in block.items()
+        if model in ("ours", "svm[2]", "svm[3]")
+    ]
+
+    def run_sweep():
+        return sweep_pdk_parameters(flow_results, corners=DEFAULT_CORNERS, dataset=dataset)
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    assert len(report.corners) == len(DEFAULT_CORNERS)
+    assert report.conclusion_holds_everywhere("energy_win")
+    assert report.conclusion_holds_everywhere("battery_fit", budget_mw=30.0)
+    assert report.conclusion_holds_everywhere("faster_clock")
+
+    low, high = report.energy_improvement_range()
+    assert low > 1.0, "energy win must hold even at the worst corner"
+    assert high < 50.0, "no corner should produce an implausible improvement"
+
+
+def test_power_scales_as_expected_with_static_corner(benchmark, get_block):
+    """Sanity of the corner mechanics: +30 % static power raises the proposed
+    design's power by 15-30 % (static is the larger share of its power)."""
+    from repro.eval.sensitivity import PDKCorner
+
+    flow_results = [get_block("cardio")["ours"].flow_result]
+    corners = (PDKCorner("nominal"), PDKCorner("static+30%", static_power_scale=1.3))
+
+    report = benchmark.pedantic(
+        lambda: sweep_pdk_parameters(flow_results, corners=corners, dataset="cardio"),
+        rounds=1,
+        iterations=1,
+    )
+    nominal = report.corners[0].reports["ours"].power_mw
+    perturbed = report.corners[1].reports["ours"].power_mw
+    increase = perturbed / nominal
+    assert 1.10 <= increase <= 1.30

@@ -1,0 +1,46 @@
+"""Ablation A2: bespoke MUX storage against the crossbar-ROM alternative.
+
+Section II: "We also evaluated a crossbar-based Read-Only Memory (ROM)
+alternative; however for the required storage size, crossbars prove more
+costly, mainly due to the need for printed Analog-to-Digital Converters
+(ADCs)."  This ablation reproduces that design decision for every dataset.
+"""
+
+import pytest
+
+from repro.core.sequential_svm import SequentialSVMDesign
+from repro.eval.reference import TABLE1_DATASETS
+from repro.hw.pdk import EGFET_PDK
+
+
+@pytest.mark.parametrize("dataset", list(TABLE1_DATASETS))
+def test_mux_storage_beats_crossbar_rom(benchmark, dataset, get_block):
+    flow = get_block(dataset)["ours"].flow_result
+    model = flow.design.model
+    X_test, y_test = flow.split.X_test, flow.split.y_test
+
+    mux_design = SequentialSVMDesign(model, storage_style="mux", dataset=dataset)
+    mux_report = mux_design.evaluate(X_test, y_test, model_name="seq (mux)")
+
+    def build_crossbar():
+        design = SequentialSVMDesign(model, storage_style="crossbar", dataset=dataset)
+        return design, design.evaluate(X_test, y_test, model_name="seq (crossbar)")
+
+    rom_design, rom_report = benchmark.pedantic(build_crossbar, rounds=1, iterations=1)
+
+    # The stored contents are identical...
+    for index in range(mux_design.storage.n_words):
+        assert (mux_design.storage.read(index) == rom_design.storage.read(index)).all()
+
+    # ...but the crossbar pays for ADC read-out on every column.
+    mux_storage_area = mux_design.storage.hardware().area_cm2(EGFET_PDK)
+    rom_storage_area = rom_design.storage.hardware().area_cm2(EGFET_PDK)
+    assert rom_storage_area > 2.0 * mux_storage_area
+
+    # Which shows up in every total metric of the design.
+    assert rom_report.area_cm2 > mux_report.area_cm2
+    assert rom_report.power_mw > mux_report.power_mw
+    assert rom_report.energy_mj > mux_report.energy_mj
+
+    # Functional behaviour is unaffected by the storage style.
+    assert rom_report.accuracy_percent == pytest.approx(mux_report.accuracy_percent)

@@ -1,0 +1,93 @@
+"""Benchmark: the paper's aggregate claims (Section III text).
+
+Covers the headline numbers the abstract and results section report:
+
+* C1 — average energy improvement of 6.5x (10.6x vs [2], 5.4x vs [3],
+  3.46x vs [4]);
+* C2 — higher average accuracy than every baseline family;
+* C3 — peak power 22.9 mW / average 13.58 mW, every proposed design powered
+  by an existing printed battery (Molex 30 mW), unlike most baselines.
+
+The measured aggregates come from the fully regenerated Table I; the checks
+verify direction and regime, not exact values (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.eval.comparison import battery_feasibility_count
+from repro.eval.reference import PAPER_CLAIMS
+from repro.eval.reporting import markdown_claims
+from repro.eval.table1 import table1_aggregates
+
+
+def test_claim_c1_energy_improvement(benchmark, table1, aggregates, assert_same_regime):
+    """C1: the sequential design reduces energy against every baseline."""
+    measured = benchmark.pedantic(lambda: table1_aggregates(table1), rounds=1, iterations=1)
+    # Direction: a clear improvement against every baseline family.
+    assert measured["energy_improvement_vs_svm2"] > 2.0
+    assert measured["energy_improvement_vs_svm3"] > 1.5
+    assert measured["energy_improvement_vs_mlp4"] > 1.5
+    assert measured["energy_improvement_average"] > 2.0
+    # Regime: within 3x of the published factors.
+    assert_same_regime(
+        measured["energy_improvement_vs_svm2"],
+        PAPER_CLAIMS["energy_improvement_vs_svm2"],
+        factor=3.0,
+    )
+    assert_same_regime(
+        measured["energy_improvement_vs_svm3"],
+        PAPER_CLAIMS["energy_improvement_vs_svm3"],
+        factor=3.0,
+    )
+    assert_same_regime(
+        measured["energy_improvement_vs_mlp4"],
+        PAPER_CLAIMS["energy_improvement_vs_mlp4"],
+        factor=3.0,
+    )
+    assert_same_regime(
+        measured["energy_improvement_average"],
+        PAPER_CLAIMS["energy_improvement_average"],
+        factor=3.0,
+    )
+
+
+def test_claim_c2_accuracy(benchmark, aggregates):
+    """C2: accuracy is at least on par with the SVM baselines and clearly
+    better than the MLP baseline.
+
+    The paper reports +2.02 / +3.13 / +4.38 points; with synthetic datasets
+    the SVM-vs-SVM gap is within noise, so the check is 'no meaningful loss'
+    against the SVM baselines and a clear gain against the MLP baseline.
+    """
+    benchmark.pedantic(lambda: aggregates, rounds=1, iterations=1)
+    assert aggregates["accuracy_gain_vs_svm2"] >= -2.5
+    assert aggregates["accuracy_gain_vs_svm3"] >= -2.5
+    assert aggregates["accuracy_gain_vs_mlp4"] >= 1.0
+
+
+def test_claim_c3_power_and_battery(benchmark, table1, aggregates, assert_same_regime):
+    """C3: every proposed design fits the Molex 30 mW printed battery."""
+    ours_rows = benchmark.pedantic(lambda: table1.rows_for_model("ours"), rounds=1, iterations=1)
+    budget = PAPER_CLAIMS["battery_budget_mw"]
+    assert battery_feasibility_count(ours_rows, budget) == len(ours_rows)
+    assert aggregates["peak_power_mw"] <= budget
+    assert_same_regime(aggregates["peak_power_mw"], PAPER_CLAIMS["peak_power_mw"], factor=2.0)
+    assert_same_regime(
+        aggregates["average_power_mw"], PAPER_CLAIMS["average_power_mw"], factor=2.0
+    )
+    assert_same_regime(
+        aggregates["average_energy_mj"], PAPER_CLAIMS["average_energy_mj"], factor=2.0
+    )
+    # Most state-of-the-art designs exceed the printed battery budget.
+    baseline_rows = [
+        e.measured for e in table1.entries if e.model != "ours"
+    ]
+    feasible_baselines = battery_feasibility_count(baseline_rows, budget)
+    assert feasible_baselines <= len(baseline_rows) // 2
+
+
+def test_report_measured_vs_published(benchmark, table1, aggregates, capsys):
+    """Print the measured-vs-published claim table into the benchmark log."""
+    text = benchmark.pedantic(lambda: markdown_claims(aggregates, PAPER_CLAIMS), rounds=1, iterations=1)
+    print("\n" + text)
+    assert "energy_improvement_average" in text

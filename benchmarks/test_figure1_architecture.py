@@ -1,0 +1,92 @@
+"""Benchmark: Figure 1 — the sequential SVM architecture, structurally.
+
+Fig. 1 of the paper is the block diagram of the proposed circuit: control
+(counter), storage (hardwired MUX), compute engine (m multipliers + a
+multi-operand adder) and voter (two registers + one comparator).  This
+benchmark regenerates the architecture for the Cardio design, times the
+structural generation, and checks that the generated hardware has exactly
+the structure the figure describes.
+"""
+
+import math
+
+import pytest
+
+from repro.core.sequential_svm import SequentialSVMDesign
+from repro.hw.pdk import EGFET_PDK
+
+
+@pytest.fixture(scope="module")
+def flow_result(get_block):
+    return get_block("cardio")["ours"].flow_result
+
+
+def test_generate_architecture(benchmark, flow_result):
+    """Time the structural generation of the full sequential SVM circuit."""
+    model = flow_result.design.model
+
+    def generate():
+        design = SequentialSVMDesign(model, dataset="cardio")
+        return design.hardware()
+
+    block = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert block.n_cells() > 0
+
+
+def test_control_is_a_log2n_counter(benchmark, flow_result):
+    benchmark.pedantic(lambda: flow_result.design.controller.hardware(), rounds=1, iterations=1)
+    design = flow_result.design
+    expected_bits = max(1, math.ceil(math.log2(design.n_classifiers)))
+    assert design.controller.counter_bits == expected_bits
+    assert design.controller.hardware().counts["DFF"] == expected_bits
+
+
+def test_storage_holds_one_word_per_support_vector(benchmark, flow_result):
+    benchmark.pedantic(lambda: flow_result.design.storage.hardware(), rounds=1, iterations=1)
+    design = flow_result.design
+    storage = design.storage
+    assert storage.n_words == design.n_classifiers
+    assert storage.n_values_per_word == design.n_features + 1  # weights + bias
+    assert storage.select_bits == design.controller.counter_bits
+
+
+def test_compute_engine_has_m_multipliers_and_one_adder(benchmark, flow_result):
+    benchmark.pedantic(lambda: flow_result.design.engine.hardware(), rounds=1, iterations=1)
+    design = flow_result.design
+    engine = design.engine
+    assert engine.n_multipliers == design.n_features
+    # Folding: the engine size is independent of the classifier count.
+    assert engine.hardware().counts["AND2"] >= design.n_features * 4
+
+
+def test_voter_is_two_registers_and_one_comparator(benchmark, flow_result):
+    benchmark.pedantic(lambda: flow_result.design.voter.hardware(), rounds=1, iterations=1)
+    design = flow_result.design
+    voter_block = design.voter.hardware()
+    expected_register_bits = design.score_bits + design.controller.counter_bits
+    assert voter_block.counts["DFF"] == expected_register_bits
+    # A single ripple comparator, not a comparator tree.
+    assert voter_block.counts["XNOR2"] == design.score_bits
+
+
+def test_classification_takes_n_cycles(benchmark, flow_result):
+    benchmark.pedantic(lambda: flow_result.design.simulate_sample(flow_result.split.X_test[1]), rounds=1, iterations=1)
+    design = flow_result.design
+    sample = flow_result.split.X_test[0]
+    trace = design.simulate_sample(sample)
+    assert trace.n_cycles == design.n_classifiers
+
+
+def test_component_area_shares_are_sensible(benchmark, flow_result):
+    """The compute engine dominates; control is negligible (Fig. 1 intuition)."""
+    benchmark.pedantic(lambda: flow_result.design.hardware().area_cm2(EGFET_PDK), rounds=1, iterations=1)
+    design = flow_result.design
+    areas = {
+        "storage": design.storage.hardware().area_cm2(EGFET_PDK),
+        "engine": design.engine.hardware().area_cm2(EGFET_PDK),
+        "voter": design.voter.hardware().area_cm2(EGFET_PDK),
+        "control": design.controller.hardware().area_cm2(EGFET_PDK),
+    }
+    assert areas["engine"] > areas["storage"]
+    assert areas["engine"] > areas["voter"]
+    assert areas["control"] < 0.05 * areas["engine"]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the sequential printed SVM.
+
+The paper fixes one design point per dataset (low-precision inputs, the
+lowest weight precision that retains accuracy, OvR, MUX storage).  This
+example opens up the knobs the paper's Section II discusses and maps the
+accuracy / energy / area trade-offs on one dataset:
+
+* input precision (2-6 bits) x weight precision (3-8 bits) sweep;
+* One-vs-Rest against One-vs-One storage cost;
+* bespoke MUX storage against the crossbar-ROM alternative;
+* the accuracy/energy Pareto front over all explored points.
+
+Run:  python examples/design_space_exploration.py [--dataset redwine] [--full]
+"""
+
+import argparse
+
+from repro.core.design_flow import FlowConfig, fast_config, prepare_dataset, quantize_split_inputs
+from repro.core.sequential_svm import SequentialSVMDesign
+from repro.eval.pareto import TradeoffPoint, pareto_front
+from repro.ml.multiclass import OneVsOneClassifier, OneVsRestClassifier
+from repro.ml.quantization import quantize_linear_classifier
+from repro.ml.svm import LinearSVC
+
+
+def train_ovr(split, max_iter):
+    clf = OneVsRestClassifier(LinearSVC(max_iter=max_iter, random_state=0))
+    clf.fit(split.X_train, split.y_train)
+    return clf
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="redwine")
+    parser.add_argument("--full", action="store_true", help="use the full-size dataset")
+    args = parser.parse_args()
+    config = FlowConfig() if args.full else fast_config()
+
+    raw_split = prepare_dataset(args.dataset, config)
+    print(
+        f"Dataset {args.dataset}: {raw_split.n_features} features, "
+        f"{raw_split.n_classes} classes, {raw_split.n_train} training samples"
+    )
+
+    # ------------------------------------------------------------------ #
+    # Precision sweep
+    # ------------------------------------------------------------------ #
+    print("\n=== Precision sweep (input bits x weight bits) ===")
+    print(f"{'in':>3s} {'wt':>3s} {'acc %':>7s} {'area cm2':>9s} {'power mW':>9s} {'energy mJ':>10s}")
+    points = []
+    for input_bits in (2, 3, 4, 5, 6):
+        split = quantize_split_inputs(raw_split, input_bits)
+        classifier = train_ovr(split, config.svm_max_iter)
+        for weight_bits in (3, 4, 5, 6, 8):
+            quantized = quantize_linear_classifier(
+                classifier, input_bits=input_bits, weight_bits=weight_bits
+            )
+            design = SequentialSVMDesign(quantized, dataset=args.dataset)
+            report = design.evaluate(split.X_test, split.y_test)
+            print(
+                f"{input_bits:3d} {weight_bits:3d} {report.accuracy_percent:7.1f} "
+                f"{report.area_cm2:9.2f} {report.power_mw:9.2f} {report.energy_mj:10.3f}"
+            )
+            points.append(
+                TradeoffPoint(
+                    label=f"in{input_bits}/wt{weight_bits}",
+                    maximise_value=report.accuracy_percent,
+                    minimise_value=report.energy_mj,
+                )
+            )
+
+    print("\nAccuracy/energy Pareto-optimal configurations:")
+    for point in sorted(pareto_front(points), key=lambda p: p.minimise_value):
+        print(
+            f"  {point.label:10s} accuracy {point.maximise_value:5.1f} %  "
+            f"energy {point.minimise_value:6.3f} mJ"
+        )
+
+    # ------------------------------------------------------------------ #
+    # OvR vs OvO storage cost (the paper's multi-class argument)
+    # ------------------------------------------------------------------ #
+    print("\n=== OvR vs OvO (storage and energy impact) ===")
+    split = quantize_split_inputs(raw_split, config.input_bits)
+    for name, wrapper in [("OvR", OneVsRestClassifier), ("OvO", OneVsOneClassifier)]:
+        clf = wrapper(LinearSVC(max_iter=config.svm_max_iter, random_state=0))
+        clf.fit(split.X_train, split.y_train)
+        quantized = quantize_linear_classifier(clf, input_bits=config.input_bits, weight_bits=6)
+        design = SequentialSVMDesign(quantized, dataset=args.dataset)
+        report = design.evaluate(split.X_test, split.y_test, model_name=f"seq. SVM ({name})")
+        print(
+            f"  {name}: {quantized.n_classifiers:2d} stored vectors "
+            f"({design.storage.total_bits:5d} bits), "
+            f"{report.cycles_per_classification:2d} cycles, "
+            f"acc {report.accuracy_percent:5.1f} %, energy {report.energy_mj:6.3f} mJ"
+        )
+
+    # ------------------------------------------------------------------ #
+    # MUX storage vs crossbar ROM (the paper's storage argument)
+    # ------------------------------------------------------------------ #
+    print("\n=== Bespoke MUX storage vs crossbar ROM ===")
+    classifier = train_ovr(split, config.svm_max_iter)
+    quantized = quantize_linear_classifier(classifier, input_bits=config.input_bits, weight_bits=6)
+    for style in ("mux", "crossbar"):
+        design = SequentialSVMDesign(quantized, storage_style=style, dataset=args.dataset)
+        report = design.evaluate(split.X_test, split.y_test, model_name=f"seq. SVM ({style})")
+        storage_area = report.area_breakdown_cm2["storage"]
+        print(
+            f"  {style:9s}: storage {storage_area:7.2f} cm^2, total {report.area_cm2:7.2f} cm^2, "
+            f"power {report.power_mw:6.2f} mW, energy {report.energy_mj:6.3f} mJ"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Project metadata lives in ``pyproject.toml``; this file only exists so the
+package can be installed editable (``pip install -e .``) in offline
+environments whose pip/setuptools combination lacks the ``wheel`` package
+required by the PEP 660 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

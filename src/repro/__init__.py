@@ -1,0 +1,56 @@
+"""repro — reproduction of "Energy-Efficient Printed Machine Learning
+Classifiers with Sequential SVMs" (DATE'25 Late Breaking Results).
+
+The package is organised in four layers:
+
+* :mod:`repro.ml` — classifier training, preprocessing and post-training
+  quantization (no scikit-learn dependency).
+* :mod:`repro.datasets` — deterministic synthetic stand-ins for the five UCI
+  datasets the paper evaluates on.
+* :mod:`repro.hw` — the printed-electronics hardware substrate: EGFET-like
+  cell library, RTL generators, synthesis, timing/power/area analysis,
+  simulation and Verilog export.
+* :mod:`repro.core` — the paper's sequential SVM architecture, the parallel
+  SVM / MLP baselines and the end-to-end design flow.
+* :mod:`repro.eval` — Table I regeneration, claim aggregation, battery
+  feasibility and Pareto analysis.
+
+Quickstart
+----------
+>>> from repro.core import run_sequential_svm_flow, fast_config
+>>> result = run_sequential_svm_flow("cardio", fast_config())
+>>> print(result.report)            # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    FlowConfig,
+    ParallelMLPDesign,
+    ParallelSVMDesign,
+    SequentialSVMDesign,
+    fast_config,
+    run_dataset_comparison,
+    run_flow,
+    run_parallel_mlp_flow,
+    run_parallel_svm_flow,
+    run_sequential_svm_flow,
+)
+from repro.eval import generate_table1, format_table1, table1_aggregates
+
+__all__ = [
+    "__version__",
+    "FlowConfig",
+    "ParallelMLPDesign",
+    "ParallelSVMDesign",
+    "SequentialSVMDesign",
+    "fast_config",
+    "run_dataset_comparison",
+    "run_flow",
+    "run_parallel_mlp_flow",
+    "run_parallel_svm_flow",
+    "run_sequential_svm_flow",
+    "generate_table1",
+    "format_table1",
+    "table1_aggregates",
+]

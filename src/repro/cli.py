@@ -1,0 +1,105 @@
+"""Command-line entry points.
+
+Two console scripts are installed with the package:
+
+* ``repro-table1`` — regenerate the paper's Table I (optionally a subset of
+  datasets) and print measured-vs-published rows plus the aggregate claims.
+* ``repro-flow`` — run the full design flow for one (dataset, model) pair and
+  print the detailed report, optionally dumping the generated Verilog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.design_flow import FlowConfig, MODEL_KINDS, fast_config, run_flow
+from repro.datasets import available_datasets
+from repro.eval.reference import PAPER_CLAIMS
+from repro.eval.reporting import breakdown_summary, markdown_claims
+from repro.eval.table1 import format_table1, generate_table1, table1_aggregates
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the reduced configuration (smaller datasets, fewer training iterations)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="override the number of samples generated per dataset",
+    )
+
+
+def _build_config(args: argparse.Namespace) -> FlowConfig:
+    config = fast_config() if args.fast else FlowConfig()
+    if args.samples is not None:
+        config = FlowConfig(**{**config.__dict__, "n_samples": args.samples})
+    return config
+
+
+def main_table1(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-table1``."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate Table I of the sequential printed SVM paper."
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        choices=available_datasets(),
+        help="datasets to include (default: all five)",
+    )
+    _add_common_arguments(parser)
+    args = parser.parse_args(argv)
+    config = _build_config(args)
+
+    table = generate_table1(datasets=args.datasets, config=config)
+    print(format_table1(table))
+    print()
+    aggregates = table1_aggregates(table)
+    print("Aggregate claims (measured vs paper):")
+    print(markdown_claims(aggregates, PAPER_CLAIMS))
+    return 0
+
+
+def main_flow(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-flow``."""
+    parser = argparse.ArgumentParser(
+        description="Run the design flow for one dataset and model kind."
+    )
+    parser.add_argument("dataset", choices=available_datasets())
+    parser.add_argument("kind", choices=list(MODEL_KINDS))
+    parser.add_argument(
+        "--verilog",
+        type=str,
+        default=None,
+        help="write the generated behavioural Verilog to this path (proposed design only)",
+    )
+    _add_common_arguments(parser)
+    args = parser.parse_args(argv)
+    config = _build_config(args)
+
+    result = run_flow(args.dataset, args.kind, config)
+    print(result.report)
+    print(breakdown_summary(result.report))
+    print(f"float accuracy      : {result.float_accuracy_percent:.2f} %")
+    print(f"weight bits used    : {result.weight_bits_used}")
+
+    if args.verilog is not None:
+        design = result.design
+        if not hasattr(design, "to_verilog"):
+            print("Verilog export is only available for the proposed sequential design.")
+            return 1
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(design.to_verilog())
+        print(f"Verilog written to {args.verilog}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_table1())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution and the baseline architectures.
+
+* :class:`SequentialSVMDesign` — the proposed bespoke sequential SVM circuit
+  (control counter + MUX storage + folded compute engine + sequential voter).
+* :class:`ParallelSVMDesign` — the fully-parallel bespoke SVM baselines
+  ([2] exact, [3] approximate).
+* :class:`ParallelMLPDesign` — the fully-parallel bespoke MLP baseline [4].
+* :mod:`repro.core.design_flow` — the end-to-end train/quantize/generate/
+  estimate flow producing Table-I-style reports.
+"""
+
+from repro.core.compute_engine import FoldedComputeEngine
+from repro.core.control import SequentialController
+from repro.core.design_flow import (
+    FlowConfig,
+    FlowResult,
+    MODEL_KINDS,
+    clear_flow_cache,
+    fast_config,
+    prepare_dataset,
+    run_dataset_comparison,
+    run_flow,
+    run_parallel_mlp_flow,
+    run_parallel_svm_flow,
+    run_sequential_svm_flow,
+)
+from repro.core.parallel_mlp import ParallelMLPDesign
+from repro.core.parallel_svm import ParallelSVMDesign, truncate_model
+from repro.core.report import ClassifierHardwareReport
+from repro.core.sequential_svm import SequentialSVMDesign
+from repro.core.storage import CrossbarRomStorage, MuxStorage
+from repro.core.voter import CombinationalArgmaxVoter, SequentialArgmaxVoter
+
+__all__ = [
+    "FoldedComputeEngine",
+    "SequentialController",
+    "FlowConfig",
+    "FlowResult",
+    "MODEL_KINDS",
+    "clear_flow_cache",
+    "fast_config",
+    "prepare_dataset",
+    "run_dataset_comparison",
+    "run_flow",
+    "run_parallel_mlp_flow",
+    "run_parallel_svm_flow",
+    "run_sequential_svm_flow",
+    "ParallelMLPDesign",
+    "ParallelSVMDesign",
+    "truncate_model",
+    "ClassifierHardwareReport",
+    "SequentialSVMDesign",
+    "CrossbarRomStorage",
+    "MuxStorage",
+    "CombinationalArgmaxVoter",
+    "SequentialArgmaxVoter",
+]

@@ -1,0 +1,75 @@
+"""Control circuitry of the sequential SVM.
+
+A ``log2(n)``-bit counter orchestrates the multi-cycle classification: its
+value selects the support vector to fetch from storage, identifies the
+classifier whose score the voter is currently considering, and terminates
+the process after all ``n`` classifiers have been evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.netlist import HardwareBlock
+from repro.hw.rtl.registers import binary_counter, counter_bits
+
+
+@dataclass
+class ControllerState:
+    """Architectural state of the controller during simulation."""
+
+    counter: int = 0
+    done: bool = False
+
+
+class SequentialController:
+    """Counter-based controller for the multi-cycle SVM evaluation."""
+
+    def __init__(self, n_classifiers: int) -> None:
+        if n_classifiers < 1:
+            raise ValueError("need at least one classifier")
+        self.n_classifiers = int(n_classifiers)
+        self._block = binary_counter(self.n_classifiers, name="control.counter")
+
+    @property
+    def counter_bits(self) -> int:
+        """Width of the control counter (``ceil(log2 n)``, min 1)."""
+        return counter_bits(self.n_classifiers)
+
+    @property
+    def cycles_per_classification(self) -> int:
+        """Number of cycles one classification takes (one per classifier)."""
+        return self.n_classifiers
+
+    def hardware(self) -> HardwareBlock:
+        """The controller as a priced hardware block."""
+        return self._block
+
+    # -- behavioural model -------------------------------------------------- #
+    def reset(self) -> ControllerState:
+        """State after reset: counter at zero, not done."""
+        return ControllerState(counter=0, done=False)
+
+    def step(self, state: ControllerState) -> ControllerState:
+        """Advance the controller by one cycle.
+
+        The counter increments until it has selected every classifier; on the
+        final classifier it raises ``done`` and wraps back to zero, ready for
+        the next classification.
+        """
+        if state.done:
+            return ControllerState(counter=0, done=False)
+        if state.counter >= self.n_classifiers - 1:
+            return ControllerState(counter=0, done=True)
+        return ControllerState(counter=state.counter + 1, done=False)
+
+    def run_sequence(self) -> list:
+        """The full select sequence of one classification (0 .. n-1)."""
+        selects = []
+        state = self.reset()
+        for _ in range(self.n_classifiers):
+            selects.append(state.counter)
+            state = self.step(state)
+        if not state.done and self.n_classifiers > 1:
+            raise RuntimeError("controller failed to terminate after all classifiers")
+        return selects

@@ -1,0 +1,155 @@
+"""Fully-parallel bespoke MLP baseline (state of the art [4]).
+
+Printed bespoke MLPs hardwire every weight of a small fully-connected
+network; all neurons of all layers are dedicated hardware and the whole
+forward pass happens combinationally in one (long) evaluation.  Each neuron
+is a bespoke constant-multiplier/adder-tree cone followed by a ReLU (sign
+mask); the output layer feeds a combinational argmax.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from repro.core.report import ClassifierHardwareReport
+from repro.core.voter import CombinationalArgmaxVoter
+from repro.hw.activity import PARALLEL_CASCADE_GLITCH, datapath_toggles, scale_toggles
+from repro.hw.area import AreaAnalyzer
+from repro.hw.cells import CellLibrary
+from repro.hw.netlist import HardwareBlock, parallel, series
+from repro.hw.pdk import EGFET_PDK
+from repro.hw.power import PowerAnalyzer
+from repro.hw.rtl.registers import counter_bits
+from repro.hw.synthesis import synthesize_constant_mac
+from repro.hw.timing import TimingAnalyzer
+from repro.ml.fixed_point import required_bits_for_integer
+from repro.ml.metrics import accuracy_percent
+from repro.ml.quantization import QuantizedMLPModel
+
+
+def _relu_block(width: int, name: str) -> HardwareBlock:
+    """Hardware of an integer ReLU: mask the value with the inverted sign bit."""
+    counts = Counter({"INV": 1, "AND2": width})
+    path = Counter({"INV": 1, "AND2": 1})
+    return HardwareBlock(
+        name=name, counts=counts, path=path, toggles=datapath_toggles(counts, 2)
+    )
+
+
+class ParallelMLPDesign:
+    """Fully-parallel bespoke MLP circuit generated from a quantized MLP."""
+
+    def __init__(
+        self,
+        model: QuantizedMLPModel,
+        library: Optional[CellLibrary] = None,
+        dataset: str = "",
+    ) -> None:
+        self.model = model
+        self.library = library or EGFET_PDK
+        self.dataset = dataset
+        self._layer_output_bits = self._compute_layer_widths()
+
+    def _compute_layer_widths(self) -> list:
+        """Worst-case signed width of every layer's outputs (no re-quantization)."""
+        widths = []
+        max_act = self.model.input_format.max_code
+        act_bound = np.full(self.model.layer_sizes[0], max_act, dtype=np.int64)
+        for W, b in zip(self.model.weight_codes, self.model.bias_codes):
+            bound = np.abs(W.T) @ act_bound + np.abs(b)
+            width = max(
+                int(required_bits_for_integer(int(bound.max()), signed=True)), 2
+            )
+            widths.append(width)
+            # ReLU keeps magnitudes, so the bound carries to the next layer.
+            act_bound = bound
+        return widths
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_features(self) -> int:
+        return self.model.n_features
+
+    @property
+    def n_classes(self) -> int:
+        return self.model.n_classes
+
+    @property
+    def cycles_per_classification(self) -> int:
+        """The parallel MLP classifies in a single evaluation."""
+        return 1
+
+    def hardware(self) -> HardwareBlock:
+        """Neuron cones for every layer, ReLUs, and the output argmax."""
+        layers = []
+        for layer_idx, (W, b) in enumerate(
+            zip(self.model.weight_codes, self.model.bias_codes)
+        ):
+            fan_in, fan_out = W.shape
+            is_output = layer_idx == self.model.n_layers - 1
+            out_bits = self._layer_output_bits[layer_idx]
+            in_bits = (
+                self.model.input_format.total_bits
+                if layer_idx == 0
+                else self._layer_output_bits[layer_idx - 1]
+            )
+            neurons = []
+            for j in range(fan_out):
+                cone, _ = synthesize_constant_mac(
+                    W[:, j],
+                    int(b[j]),
+                    input_bits=in_bits,
+                    score_bits=out_bits,
+                    name=f"l{layer_idx}_n{j}",
+                )
+                if not is_output:
+                    cone = series(f"l{layer_idx}_n{j}_relu", [cone, _relu_block(out_bits, "relu")])
+                neurons.append(cone)
+            layers.append(parallel(f"layer{layer_idx}", neurons))
+        index_bits = counter_bits(max(self.n_classes, 2))
+        argmax = CombinationalArgmaxVoter(
+            self.n_classes, self._layer_output_bits[-1], index_bits
+        ).hardware()
+        design = series(f"parallel_mlp[{self.dataset or 'design'}]", layers + [argmax])
+        # Like the parallel SVM baselines, the bespoke MLP is one deep
+        # combinational cascade and glitches multiply across its layers.
+        design.toggles = scale_toggles(design.toggles, PARALLEL_CASCADE_GLITCH)
+        return design
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+        model_name: str = "MLP [4]*",
+    ) -> ClassifierHardwareReport:
+        """Full Table-I-style evaluation of the MLP baseline circuit."""
+        block = self.hardware()
+        timing = TimingAnalyzer(self.library).analyze(block, sequential=False)
+        power = PowerAnalyzer(self.library).analyze(
+            block, frequency_hz=timing.frequency_hz, cycles_per_classification=1
+        )
+        area = AreaAnalyzer(self.library).analyze(block)
+        accuracy = accuracy_percent(y_test, self.predict(X_test))
+        return ClassifierHardwareReport(
+            dataset=self.dataset,
+            model=model_name,
+            accuracy_percent=accuracy,
+            area_cm2=area.total_cm2,
+            power_mw=power.total_mw,
+            frequency_hz=timing.frequency_hz,
+            latency_ms=power.latency_ms,
+            energy_mj=power.energy_per_classification_mj,
+            static_power_mw=power.static_mw,
+            dynamic_power_mw=power.dynamic_mw,
+            n_cells=block.n_cells(),
+            cycles_per_classification=1,
+            notes=f"topology={self.model.layer_sizes}",
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class labels predicted by the integer-exact MLP model."""
+        return self.model.predict(X)

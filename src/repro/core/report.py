@@ -1,0 +1,79 @@
+"""Hardware evaluation report for one classifier design.
+
+The :class:`ClassifierHardwareReport` carries exactly the columns of the
+paper's Table I — accuracy (%), area (cm^2), power (mW), frequency (Hz),
+latency (ms) and energy (mJ) — plus the underlying breakdowns (static vs
+dynamic power, cell counts, per-component areas) used by the ablation
+studies and the documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class ClassifierHardwareReport:
+    """Table-I-style evaluation record of one classifier circuit."""
+
+    dataset: str
+    model: str
+    accuracy_percent: float
+    area_cm2: float
+    power_mw: float
+    frequency_hz: float
+    latency_ms: float
+    energy_mj: float
+    static_power_mw: float = 0.0
+    dynamic_power_mw: float = 0.0
+    n_cells: int = 0
+    cycles_per_classification: int = 1
+    area_breakdown_cm2: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.accuracy_percent < 0 or self.accuracy_percent > 100:
+            raise ValueError("accuracy must be a percentage in [0, 100]")
+        for attr in ("area_cm2", "power_mw", "frequency_hz", "latency_ms", "energy_mj"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    # -- derived quantities ------------------------------------------------ #
+    @property
+    def power_density_mw_per_cm2(self) -> float:
+        """Average power per unit printed area."""
+        if self.area_cm2 == 0:
+            return 0.0
+        return self.power_mw / self.area_cm2
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy-delay product (mJ * ms), a common efficiency figure of merit."""
+        return self.energy_mj * self.latency_ms
+
+    def within_power_budget(self, budget_mw: float) -> bool:
+        """Whether the design can be powered by a source of ``budget_mw``."""
+        return self.power_mw <= budget_mw
+
+    # -- formatting --------------------------------------------------------- #
+    def as_row(self) -> Dict[str, float]:
+        """The Table I columns as a plain dictionary."""
+        return {
+            "dataset": self.dataset,
+            "model": self.model,
+            "accuracy_percent": round(self.accuracy_percent, 2),
+            "area_cm2": round(self.area_cm2, 2),
+            "power_mw": round(self.power_mw, 2),
+            "frequency_hz": round(self.frequency_hz, 1),
+            "latency_ms": round(self.latency_ms, 1),
+            "energy_mj": round(self.energy_mj, 3),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return (
+            f"{self.dataset:12s} {self.model:12s} "
+            f"acc {self.accuracy_percent:5.1f}%  area {self.area_cm2:6.2f} cm^2  "
+            f"power {self.power_mw:6.2f} mW  freq {self.frequency_hz:5.1f} Hz  "
+            f"latency {self.latency_ms:6.1f} ms  energy {self.energy_mj:6.3f} mJ"
+        )

@@ -1,0 +1,158 @@
+"""Support-vector coefficient storage for printed sequential SVMs.
+
+The paper evaluates two storage styles and keeps the cheaper one:
+
+* **Bespoke MUX storage** (:class:`MuxStorage`) — "the inputs of the MUX
+  (excluding the control signal) are hardwired to the parameters of the
+  support vectors. This is made feasible by the low costs in PE."  The
+  control counter drives the MUX select lines; synthesis collapses the
+  constant columns (see :mod:`repro.hw.rtl.mux`).
+* **Crossbar ROM storage** (:class:`CrossbarRomStorage`) — "we also evaluated
+  a crossbar-based Read-Only Memory (ROM) alternative; however for the
+  required storage size, crossbars prove more costly, mainly due to the need
+  for printed Analog-to-Digital Converters (ADCs)."  The model below charges
+  one printed ADC slice per read-out column plus the (cheap) crossbar dots,
+  which is what makes it lose for these storage sizes — the ablation
+  benchmark reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hw.activity import storage_toggles
+from repro.hw.netlist import HardwareBlock
+from repro.hw.rtl.mux import constant_mux_storage
+from repro.hw.rtl.registers import counter_bits
+
+
+class MuxStorage:
+    """Bespoke MUX-based storage of the quantized support vectors.
+
+    Parameters
+    ----------
+    coefficients:
+        Integer table of shape ``(n_words, n_values)``: one word per support
+        vector, one column per stored value (weights then bias).
+    bits_per_value:
+        Storage width of each column (two's complement).
+    """
+
+    def __init__(self, coefficients: np.ndarray, bits_per_value: Sequence[int]) -> None:
+        self.coefficients = np.asarray(coefficients, dtype=np.int64)
+        if self.coefficients.ndim != 2:
+            raise ValueError("coefficient table must be 2-D")
+        self.bits_per_value = [int(b) for b in bits_per_value]
+        if len(self.bits_per_value) != self.coefficients.shape[1]:
+            raise ValueError("bits_per_value length must match the coefficient columns")
+        self._block = constant_mux_storage(
+            self.coefficients, self.bits_per_value, name="storage.mux"
+        )
+
+    @property
+    def n_words(self) -> int:
+        """Number of stored support vectors."""
+        return int(self.coefficients.shape[0])
+
+    @property
+    def n_values_per_word(self) -> int:
+        """Number of values per word (m weights + 1 bias)."""
+        return int(self.coefficients.shape[1])
+
+    @property
+    def word_bits(self) -> int:
+        """Total storage bits per word."""
+        return int(sum(self.bits_per_value))
+
+    @property
+    def total_bits(self) -> int:
+        """Total hardwired storage bits."""
+        return self.n_words * self.word_bits
+
+    @property
+    def select_bits(self) -> int:
+        """Width of the select signal the control counter must provide."""
+        return counter_bits(self.n_words)
+
+    def read(self, index: int) -> np.ndarray:
+        """Return the stored word selected by the control counter value."""
+        if not 0 <= index < self.n_words:
+            raise IndexError(f"select {index} out of range (0..{self.n_words - 1})")
+        return self.coefficients[index].copy()
+
+    def hardware(self) -> HardwareBlock:
+        """The storage as a priced hardware block."""
+        return self._block
+
+
+class CrossbarRomStorage:
+    """Crossbar-ROM alternative, charged with its printed ADC overhead.
+
+    A crossbar stores one bit per dot (cheap, modelled as wiring), but every
+    read-out column needs sensing plus an analog-to-digital conversion stage;
+    printed ADCs are notoriously large, which the EGFET library models with
+    the heavy ``ADC1`` cell (one slice per output bit).  A small decoder
+    driven by the select lines is also required.
+    """
+
+    def __init__(self, coefficients: np.ndarray, bits_per_value: Sequence[int]) -> None:
+        self.coefficients = np.asarray(coefficients, dtype=np.int64)
+        if self.coefficients.ndim != 2:
+            raise ValueError("coefficient table must be 2-D")
+        self.bits_per_value = [int(b) for b in bits_per_value]
+        if len(self.bits_per_value) != self.coefficients.shape[1]:
+            raise ValueError("bits_per_value length must match the coefficient columns")
+
+    @property
+    def n_words(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def word_bits(self) -> int:
+        return int(sum(self.bits_per_value))
+
+    @property
+    def total_bits(self) -> int:
+        return self.n_words * self.word_bits
+
+    @property
+    def select_bits(self) -> int:
+        return counter_bits(self.n_words)
+
+    def read(self, index: int) -> np.ndarray:
+        """Return the stored word selected by the row decoder."""
+        if not 0 <= index < self.n_words:
+            raise IndexError(f"select {index} out of range (0..{self.n_words - 1})")
+        return self.coefficients[index].copy()
+
+    def hardware(self) -> HardwareBlock:
+        """The crossbar storage (decoder + sense/ADC stages) as a block."""
+        # Row decoder: one AND gate per word over the select bits.
+        decoder = Counter({"AND2": self.n_words * max(self.select_bits - 1, 1),
+                           "INV": self.select_bits})
+        # Read-out: one ADC slice per word-bit column (dominant cost), plus a
+        # buffer per column to drive the downstream datapath.
+        readout = Counter({"ADC1": self.word_bits, "BUF": self.word_bits})
+        counts = decoder + readout
+        path = Counter({"INV": 1, "AND2": 1, "ADC1": 1})
+        return HardwareBlock(
+            name="storage.crossbar_rom",
+            counts=counts,
+            path=path,
+            toggles=storage_toggles(counts),
+        )
+
+
+def storage_bits_for_model(weight_bits: int, n_features: int, score_bits: int) -> List[int]:
+    """Per-column storage widths for a quantized linear model.
+
+    The ``n_features`` weight columns are stored at ``weight_bits`` each and
+    the bias column at the score width (it is pre-scaled to the product
+    format, so it needs the full accumulator width).
+    """
+    if weight_bits < 1 or n_features < 1 or score_bits < 1:
+        raise ValueError("invalid storage geometry")
+    return [weight_bits] * n_features + [score_bits]

@@ -1,0 +1,107 @@
+"""Voter circuits: sequential argmax (proposed) and combinational argmax.
+
+The proposed voter "tracks the classifier (i.e., counter value) with the
+highest score (i.e., weighted sum). Hence, our voter — essentially a
+sequential argmax — requires only two registers (for score and classifier
+id) and a single comparator, as finding the maximum score involves one
+comparison per cycle between the current and stored scores."
+
+The fully-parallel baselines need a combinational argmax (or pairwise vote)
+over all classifier outputs at once, modelled by
+:class:`CombinationalArgmaxVoter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.netlist import HardwareBlock, parallel, series
+from repro.hw.rtl.comparator import argmax_comparator_tree, magnitude_comparator
+from repro.hw.rtl.registers import register_bank
+
+
+@dataclass
+class VoterState:
+    """Architectural state of the sequential voter."""
+
+    best_score: int = 0
+    best_class: int = 0
+    initialized: bool = False
+
+
+class SequentialArgmaxVoter:
+    """Two registers plus one comparator: the paper's sequential argmax."""
+
+    def __init__(self, score_bits: int, index_bits: int) -> None:
+        if score_bits < 1 or index_bits < 1:
+            raise ValueError("voter register widths must be >= 1")
+        self.score_bits = int(score_bits)
+        self.index_bits = int(index_bits)
+        comparator = magnitude_comparator(self.score_bits, signed=True, name="voter.comparator")
+        score_reg = register_bank(self.score_bits, with_enable=True, name="voter.score_reg")
+        index_reg = register_bank(self.index_bits, with_enable=True, name="voter.id_reg")
+        registers = parallel("voter.registers", [score_reg, index_reg])
+        self._block = series("voter", [comparator, registers])
+
+    def hardware(self) -> HardwareBlock:
+        """The voter as a priced hardware block."""
+        return self._block
+
+    # -- behavioural model -------------------------------------------------- #
+    def reset(self) -> VoterState:
+        """State after reset (registers cleared, nothing seen yet)."""
+        return VoterState(best_score=0, best_class=0, initialized=False)
+
+    def update(self, state: VoterState, score: int, classifier_id: int) -> VoterState:
+        """One voting cycle: strict greater-than comparison against the best.
+
+        The first score always loads the registers (the comparator output is
+        ignored while the voter is uninitialised); afterwards the registers
+        only load when the new score is strictly greater, so the earliest
+        classifier wins ties — matching ``argmax`` tie-breaking.
+        """
+        if not state.initialized or score > state.best_score:
+            return VoterState(best_score=int(score), best_class=int(classifier_id), initialized=True)
+        return VoterState(
+            best_score=state.best_score, best_class=state.best_class, initialized=True
+        )
+
+    def decide(self, scores) -> int:
+        """Run the voter over a full score sequence; returns the winning id."""
+        state = self.reset()
+        for idx, score in enumerate(scores):
+            state = self.update(state, int(score), idx)
+        if not state.initialized:
+            raise ValueError("voter received no scores")
+        return state.best_class
+
+
+class CombinationalArgmaxVoter:
+    """Single-cycle argmax over all classifier scores (parallel baselines)."""
+
+    def __init__(self, n_classifiers: int, score_bits: int, index_bits: int) -> None:
+        if n_classifiers < 1:
+            raise ValueError("need at least one classifier")
+        self.n_classifiers = int(n_classifiers)
+        self.score_bits = int(score_bits)
+        self.index_bits = int(index_bits)
+        self._block = argmax_comparator_tree(
+            self.n_classifiers, self.score_bits, self.index_bits, name="voter.argmax_tree"
+        )
+
+    def hardware(self) -> HardwareBlock:
+        """The combinational argmax tree as a priced hardware block."""
+        return self._block
+
+    def decide(self, scores) -> int:
+        """Behavioural argmax with first-wins tie-breaking."""
+        scores = list(scores)
+        if len(scores) != self.n_classifiers:
+            raise ValueError(
+                f"expected {self.n_classifiers} scores, got {len(scores)}"
+            )
+        best_idx = 0
+        for idx, score in enumerate(scores):
+            if score > scores[best_idx]:
+                best_idx = idx
+        return best_idx

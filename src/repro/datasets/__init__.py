@@ -1,0 +1,48 @@
+"""Synthetic stand-ins for the UCI datasets the paper evaluates on.
+
+No network access is available, so the five UCI datasets (Cardiotocography,
+Dermatology, PenDigits, RedWine, WhiteWine) are replaced by deterministic
+synthetic datasets that reproduce their shape (feature count, class count,
+class imbalance, ordinal structure) and approximate difficulty.  See
+``DESIGN.md`` for the substitution rationale.
+"""
+
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    SyntheticSpec,
+    generate_dataset,
+    make_classification,
+)
+from repro.datasets.registry import (
+    available_datasets,
+    canonical_name,
+    clear_cache,
+    dataset_summary,
+    load_dataset,
+    register_dataset,
+)
+from repro.datasets.uci import (
+    make_cardio,
+    make_dermatology,
+    make_pendigits,
+    make_redwine,
+    make_whitewine,
+)
+
+__all__ = [
+    "SyntheticDataset",
+    "SyntheticSpec",
+    "generate_dataset",
+    "make_classification",
+    "available_datasets",
+    "canonical_name",
+    "clear_cache",
+    "dataset_summary",
+    "load_dataset",
+    "register_dataset",
+    "make_cardio",
+    "make_dermatology",
+    "make_pendigits",
+    "make_redwine",
+    "make_whitewine",
+]

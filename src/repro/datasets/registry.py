@@ -1,0 +1,115 @@
+"""Dataset registry: one place that knows every dataset the evaluation uses.
+
+The registry maps the dataset names used throughout the paper's Table I
+("Cardio", "Derm.", "PD", "RW", "WW") and their long forms to generator
+functions, and caches generated datasets so repeated calls inside a test or
+benchmark session do not regenerate the data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets.synthetic import SyntheticDataset
+from repro.datasets import uci
+
+#: Generator registry keyed by canonical dataset name.
+_GENERATORS: Dict[str, Callable[..., SyntheticDataset]] = {
+    "cardio": uci.make_cardio,
+    "dermatology": uci.make_dermatology,
+    "pendigits": uci.make_pendigits,
+    "redwine": uci.make_redwine,
+    "whitewine": uci.make_whitewine,
+}
+
+#: Aliases matching the abbreviations used in the paper's Table I.
+_ALIASES: Dict[str, str] = {
+    "cardio": "cardio",
+    "cardiotocography": "cardio",
+    "derm": "dermatology",
+    "derm.": "dermatology",
+    "dermatology": "dermatology",
+    "pd": "pendigits",
+    "pendigits": "pendigits",
+    "pen-digits": "pendigits",
+    "rw": "redwine",
+    "redwine": "redwine",
+    "red-wine": "redwine",
+    "ww": "whitewine",
+    "whitewine": "whitewine",
+    "white-wine": "whitewine",
+}
+
+_CACHE: Dict[tuple, SyntheticDataset] = {}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a dataset name or paper abbreviation to its canonical form."""
+    key = name.strip().lower()
+    if key not in _ALIASES:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(set(_ALIASES.values()))}"
+        )
+    return _ALIASES[key]
+
+
+def available_datasets() -> List[str]:
+    """Canonical names of all registered datasets (paper order)."""
+    return ["cardio", "dermatology", "pendigits", "redwine", "whitewine"]
+
+
+def register_dataset(name: str, generator: Callable[..., SyntheticDataset]) -> None:
+    """Register a custom dataset generator under a new canonical name."""
+    key = name.strip().lower()
+    if key in _ALIASES and _ALIASES[key] != key:
+        raise ValueError(f"name {name!r} collides with an existing alias")
+    _GENERATORS[key] = generator
+    _ALIASES[key] = key
+
+
+def load_dataset(
+    name: str, seed: Optional[int] = None, n_samples: Optional[int] = None
+) -> SyntheticDataset:
+    """Load (generate) a dataset by name, with caching.
+
+    Parameters
+    ----------
+    name:
+        Canonical name or paper abbreviation ("PD", "RW", ...).
+    seed:
+        Override the default generation seed (used by robustness tests).
+    n_samples:
+        Override the default sample count (used to keep benchmarks fast).
+    """
+    canon = canonical_name(name)
+    cache_key = (canon, seed, n_samples)
+    if cache_key not in _CACHE:
+        kwargs = {}
+        if seed is not None:
+            kwargs["seed"] = seed
+        if n_samples is not None:
+            kwargs["n_samples"] = n_samples
+        _CACHE[cache_key] = _GENERATORS[canon](**kwargs)
+    return _CACHE[cache_key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (mainly for tests exercising regeneration)."""
+    _CACHE.clear()
+
+
+def dataset_summary() -> List[dict]:
+    """Shape summary of every registered dataset (used by docs and examples)."""
+    rows = []
+    for name in available_datasets():
+        ds = load_dataset(name)
+        rows.append(
+            {
+                "name": name,
+                "n_samples": ds.n_samples,
+                "n_features": ds.n_features,
+                "n_classes": ds.n_classes,
+                "class_distribution": ds.class_distribution().round(3).tolist(),
+            }
+        )
+    return rows

@@ -1,0 +1,118 @@
+"""Battery feasibility and lifetime analysis for printed classifiers.
+
+The paper's motivation is battery-powered printed systems: "we design
+sequential printed bespoke SVM circuits that adhere to the power constraints
+of existing printed batteries while minimizing energy consumption, thereby
+boosting battery life."  This module answers the two questions the paper
+raises for every design:
+
+* can it be powered by an existing printed source (Molex 30 mW)?
+* how much longer does a battery last compared to a baseline design?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.report import ClassifierHardwareReport
+from repro.hw.pdk import MOLEX_30MW, PRINTED_BATTERIES, PrintedBattery
+
+
+@dataclass
+class BatteryAssessment:
+    """Feasibility / lifetime of one design on one printed power source."""
+
+    design: str
+    dataset: str
+    battery: str
+    feasible: bool
+    power_mw: float
+    lifetime_hours: Optional[float]
+    classifications_per_charge: Optional[float]
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        status = "OK" if self.feasible else "EXCEEDS BUDGET"
+        life = (
+            f"{self.lifetime_hours:.1f} h"
+            if self.lifetime_hours is not None and self.lifetime_hours != float("inf")
+            else "unbounded"
+        )
+        return (
+            f"{self.dataset:12s} {self.design:16s} on {self.battery:18s}: {status}, "
+            f"{self.power_mw:5.1f} mW, lifetime {life}"
+        )
+
+
+def assess_design(
+    report: ClassifierHardwareReport,
+    battery: PrintedBattery = MOLEX_30MW,
+    duty_cycle: float = 1.0,
+) -> BatteryAssessment:
+    """Evaluate one design against one printed power source.
+
+    ``duty_cycle`` scales the average power for intermittent operation (the
+    circuit is powered only while classifying); the peak-power feasibility
+    check still uses the full operating power because the source must sustain
+    the instantaneous draw.
+    """
+    if not 0.0 < duty_cycle <= 1.0:
+        raise ValueError("duty_cycle must be in (0, 1]")
+    feasible = battery.can_power(report.power_mw)
+    average_power = report.power_mw * duty_cycle
+    if feasible and average_power > 0:
+        lifetime = battery.lifetime_hours(average_power)
+        per_charge = battery.classifications_per_charge(report.energy_mj)
+    else:
+        lifetime = None
+        per_charge = None
+    return BatteryAssessment(
+        design=report.model,
+        dataset=report.dataset,
+        battery=battery.name,
+        feasible=feasible,
+        power_mw=report.power_mw,
+        lifetime_hours=lifetime,
+        classifications_per_charge=per_charge,
+    )
+
+
+def assess_many(
+    reports: Sequence[ClassifierHardwareReport],
+    battery: PrintedBattery = MOLEX_30MW,
+) -> List[BatteryAssessment]:
+    """Assess a collection of designs against one power source."""
+    return [assess_design(report, battery) for report in reports]
+
+
+def feasible_designs(
+    reports: Sequence[ClassifierHardwareReport],
+    battery: PrintedBattery = MOLEX_30MW,
+) -> List[ClassifierHardwareReport]:
+    """The subset of designs that the given printed source can power."""
+    return [r for r in reports if battery.can_power(r.power_mw)]
+
+
+def battery_life_extension(
+    proposed: ClassifierHardwareReport,
+    baseline: ClassifierHardwareReport,
+) -> float:
+    """Factor by which battery life grows when replacing baseline with proposed.
+
+    At a fixed classification rate the battery drains proportionally to the
+    energy per classification, so the extension factor is the energy ratio.
+    """
+    if proposed.energy_mj <= 0:
+        raise ValueError("proposed energy must be positive")
+    return baseline.energy_mj / proposed.energy_mj
+
+
+def best_battery_for(
+    report: ClassifierHardwareReport,
+    batteries: Sequence[PrintedBattery] = PRINTED_BATTERIES,
+) -> Optional[PrintedBattery]:
+    """Smallest (lowest max-power) printed source that can power the design."""
+    feasible = [b for b in batteries if b.can_power(report.power_mw)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda b: b.max_power_mw)

@@ -1,0 +1,116 @@
+"""Pareto analysis of accuracy / energy / area trade-offs.
+
+The paper argues its designs "feature the most favorable accuracy-energy
+trade-off among related approaches".  These helpers identify the Pareto
+front over any two objectives (one to maximise, one to minimise) so the
+design-space-exploration example and the ablation benchmarks can report
+dominance relations rather than single numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.report import ClassifierHardwareReport
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One design in a 2-D (maximise, minimise) trade-off space."""
+
+    label: str
+    maximise_value: float
+    minimise_value: float
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """Strict Pareto dominance: at least as good on both, better on one."""
+        at_least_as_good = (
+            self.maximise_value >= other.maximise_value
+            and self.minimise_value <= other.minimise_value
+        )
+        strictly_better = (
+            self.maximise_value > other.maximise_value
+            or self.minimise_value < other.minimise_value
+        )
+        return at_least_as_good and strictly_better
+
+
+def accuracy_energy_points(
+    reports: Sequence[ClassifierHardwareReport],
+) -> List[TradeoffPoint]:
+    """Accuracy (maximise) vs energy (minimise) points for a set of designs."""
+    return [
+        TradeoffPoint(
+            label=f"{r.dataset}/{r.model}",
+            maximise_value=r.accuracy_percent,
+            minimise_value=r.energy_mj,
+        )
+        for r in reports
+    ]
+
+
+def accuracy_area_points(
+    reports: Sequence[ClassifierHardwareReport],
+) -> List[TradeoffPoint]:
+    """Accuracy (maximise) vs area (minimise) points for a set of designs."""
+    return [
+        TradeoffPoint(
+            label=f"{r.dataset}/{r.model}",
+            maximise_value=r.accuracy_percent,
+            minimise_value=r.area_cm2,
+        )
+        for r in reports
+    ]
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """Non-dominated subset of the given points (stable order)."""
+    front: List[TradeoffPoint] = []
+    for candidate in points:
+        if not any(other.dominates(candidate) for other in points if other is not candidate):
+            front.append(candidate)
+    return front
+
+
+def is_on_front(point: TradeoffPoint, points: Sequence[TradeoffPoint]) -> bool:
+    """Whether ``point`` is non-dominated within ``points``."""
+    return not any(
+        other.dominates(point) for other in points if other is not point
+    )
+
+
+def dominance_count(point: TradeoffPoint, points: Sequence[TradeoffPoint]) -> int:
+    """How many of the given points ``point`` strictly dominates."""
+    return sum(1 for other in points if point.dominates(other))
+
+
+def hypervolume_2d(
+    points: Sequence[TradeoffPoint],
+    reference: Tuple[float, float],
+) -> float:
+    """2-D hypervolume (area dominated w.r.t. a reference point).
+
+    ``reference`` is ``(maximise_ref, minimise_ref)`` — a point worse than
+    every candidate (lower maximise value, higher minimise value).  Larger is
+    better; used to compare whole fronts in the exploration example.
+    """
+    front = pareto_front(points)
+    ref_max, ref_min = reference
+    usable = [
+        p for p in front if p.maximise_value >= ref_max and p.minimise_value <= ref_min
+    ]
+    if not usable:
+        return 0.0
+    # Sweep from the best maximise value downwards; on a Pareto front the
+    # minimise values are then non-increasing, so the rectangles below are
+    # disjoint in the maximise dimension and exactly tile the dominated area.
+    ordered = sorted(usable, key=lambda p: p.maximise_value, reverse=True)
+    volume = 0.0
+    for index, point in enumerate(ordered):
+        next_max = ordered[index + 1].maximise_value if index + 1 < len(ordered) else ref_max
+        width = point.maximise_value - next_max
+        height = ref_min - point.minimise_value
+        if width > 0 and height > 0:
+            volume += width * height
+    return volume

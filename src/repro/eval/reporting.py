@@ -1,0 +1,89 @@
+"""Text report generation (EXPERIMENTS.md style summaries).
+
+These helpers turn the regenerated Table I and its aggregates into the
+markdown used by ``EXPERIMENTS.md`` and into compact console summaries used
+by the example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.report import ClassifierHardwareReport
+from repro.eval.reference import PAPER_CLAIMS
+from repro.eval.table1 import Table1, table1_aggregates
+
+
+def markdown_table1(table: Table1) -> str:
+    """The regenerated Table I as a markdown table (measured vs published)."""
+    lines = [
+        "| Dataset | Model | Acc (%) | Area (cm2) | Power (mW) | Freq (Hz) | Latency (ms) | Energy (mJ) |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for entry in table.entries:
+        m = entry.measured
+        lines.append(
+            f"| {entry.dataset} | {entry.model} | {m.accuracy_percent:.1f} | "
+            f"{m.area_cm2:.2f} | {m.power_mw:.2f} | {m.frequency_hz:.1f} | "
+            f"{m.latency_ms:.1f} | {m.energy_mj:.3f} |"
+        )
+        if entry.reference is not None:
+            r = entry.reference
+            lines.append(
+                f"| {entry.dataset} | {entry.model} (paper) | {r.accuracy_percent:.1f} | "
+                f"{r.area_cm2:.2f} | {r.power_mw:.2f} | {r.frequency_hz:.1f} | "
+                f"{r.latency_ms:.1f} | {r.energy_mj:.3f} |"
+            )
+    return "\n".join(lines)
+
+
+def markdown_claims(
+    measured_aggregates: Mapping[str, float],
+    published: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Measured vs published aggregate claims as a markdown table."""
+    published = published if published is not None else PAPER_CLAIMS
+    lines = [
+        "| Claim | Paper | Measured |",
+        "|---|---|---|",
+    ]
+    for key in sorted(set(published) | set(measured_aggregates)):
+        paper_value = published.get(key)
+        measured_value = measured_aggregates.get(key)
+        paper_text = f"{paper_value:.2f}" if paper_value is not None else "-"
+        measured_text = f"{measured_value:.2f}" if measured_value is not None else "-"
+        lines.append(f"| {key} | {paper_text} | {measured_text} |")
+    return "\n".join(lines)
+
+
+def experiments_markdown(table: Table1) -> str:
+    """A full EXPERIMENTS.md-style section for a regenerated table."""
+    aggregates = table1_aggregates(table)
+    parts = [
+        "## Table I — measured vs published",
+        "",
+        markdown_table1(table),
+        "",
+        "## Aggregate claims",
+        "",
+        markdown_claims(aggregates),
+    ]
+    return "\n".join(parts)
+
+
+def console_summary(rows: Sequence[ClassifierHardwareReport]) -> str:
+    """Compact per-row console summary used by the examples."""
+    return "\n".join(str(row) for row in rows)
+
+
+def breakdown_summary(report: ClassifierHardwareReport) -> str:
+    """Area breakdown of one design (storage / engine / voter / control)."""
+    if not report.area_breakdown_cm2:
+        return f"{report.model}: no breakdown recorded"
+    lines = [f"{report.model} on {report.dataset}: {report.area_cm2:.2f} cm^2 total"]
+    for component, area in sorted(
+        report.area_breakdown_cm2.items(), key=lambda item: -item[1]
+    ):
+        share = 100.0 * area / report.area_cm2 if report.area_cm2 else 0.0
+        lines.append(f"  {component:16s} {area:8.3f} cm^2 ({share:4.1f} %)")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Printed-hardware modelling substrate.
+
+This package replaces the commercial flow the paper uses (Synopsys Design
+Compiler + PrimeTime with the EGFET PDK) with a self-contained estimation
+flow:
+
+* :mod:`repro.hw.cells` / :mod:`repro.hw.pdk` — the printed (EGFET-like)
+  standard-cell library and the printed-battery models.
+* :mod:`repro.hw.netlist` — macro-level :class:`HardwareBlock` aggregation
+  and explicit gate-level :class:`GateNetlist` structures.
+* :mod:`repro.hw.rtl` — generators for adders, multipliers, MUX storage,
+  comparators, registers and counters.
+* :mod:`repro.hw.synthesis` — datapath assembly (folded and bespoke MACs).
+* :mod:`repro.hw.timing` / :mod:`repro.hw.power` / :mod:`repro.hw.area` —
+  static timing, power/energy and area roll-ups.
+* :mod:`repro.hw.simulate` — gate-level logic simulation and the
+  cycle-accurate sequential-SVM simulator.
+* :mod:`repro.hw.verilog` — structural / behavioural Verilog export.
+"""
+
+from repro.hw.cells import CellLibrary, CellType
+from repro.hw.netlist import GateNetlist, HardwareBlock, parallel, series
+from repro.hw.pdk import (
+    DEFAULT_PDK_PARAMETERS,
+    EGFET_PDK,
+    MOLEX_30MW,
+    PDKParameters,
+    PRINTED_BATTERIES,
+    PrintedBattery,
+    build_printed_library,
+)
+from repro.hw.area import AreaReport, analyze_area
+from repro.hw.floorplan import (
+    Floorplan,
+    Floorplanner,
+    compare_manufacturability,
+    cost_per_working_unit,
+    fabrication_yield,
+)
+from repro.hw.power import PowerReport, analyze_power
+from repro.hw.timing import TimingReport, analyze_timing
+from repro.hw.simulate import (
+    ParallelDatapathSimulator,
+    SequentialDatapathSimulator,
+    simulate_combinational,
+)
+
+__all__ = [
+    "CellLibrary",
+    "CellType",
+    "GateNetlist",
+    "HardwareBlock",
+    "parallel",
+    "series",
+    "DEFAULT_PDK_PARAMETERS",
+    "EGFET_PDK",
+    "MOLEX_30MW",
+    "PDKParameters",
+    "PRINTED_BATTERIES",
+    "PrintedBattery",
+    "build_printed_library",
+    "AreaReport",
+    "analyze_area",
+    "Floorplan",
+    "Floorplanner",
+    "compare_manufacturability",
+    "cost_per_working_unit",
+    "fabrication_yield",
+    "PowerReport",
+    "analyze_power",
+    "TimingReport",
+    "analyze_timing",
+    "ParallelDatapathSimulator",
+    "SequentialDatapathSimulator",
+    "simulate_combinational",
+]

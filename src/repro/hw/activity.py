@@ -1,0 +1,102 @@
+"""Switching-activity models used by the power estimation.
+
+PrimeTime-style power analysis needs, for every cell, the expected number of
+output transitions per clock cycle (or per evaluation for purely
+combinational designs).  Without gate-level simulation of every candidate
+design we use the standard architectural model:
+
+* datapath (arithmetic) cells toggle with a base activity that grows with
+  the logic depth of the block they sit in, because glitches multiply as
+  partial results ripple through deep adder/multiplier cascades;
+* hardwired-constant storage (bespoke MUX trees) barely toggles — only the
+  select lines change once per cycle;
+* registers toggle at most once per cycle plus the clock loading.
+
+The constants below are part of the PDK calibration (see DESIGN.md) and are
+shared by the proposed design and all baselines, so relative comparisons do
+not depend on per-design tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Base probability that a datapath cell output toggles on a given cycle.
+DATAPATH_BASE_ACTIVITY = 0.18
+
+#: Additional toggles per cell per logic level of depth (glitch propagation).
+GLITCH_SLOPE_PER_LEVEL = 0.022
+
+#: Cap on the per-cell glitch multiplier; deep circuits saturate eventually.
+MAX_GLITCH_FACTOR = 8.0
+
+#: Activity of hardwired-constant MUX storage (only selects toggle).
+STORAGE_ACTIVITY = 0.06
+
+#: Activity of control logic (counters, enables).
+CONTROL_ACTIVITY = 0.30
+
+#: Activity of register (DFF) cells, including internal clock toggling.
+REGISTER_ACTIVITY = 0.55
+
+#: Activity scale of the *folded* (sequential) compute engine relative to the
+#: generic datapath model.  During one classification the input features are
+#: held constant; only the coefficient operand changes (once, cleanly, at the
+#: cycle boundary when the storage MUX select advances), so roughly half of
+#: every multiplier's inputs never toggle and the glitch cascades that the
+#: generic datapath model assumes are largely absent.
+SEQUENTIAL_OPERAND_REUSE_FACTOR = 0.3
+
+#: Extra toggling of fully-parallel cascaded datapaths.  In a parallel bespoke
+#: classifier every primary input changes at once and partial results ripple
+#: through multiplier -> adder-tree -> vote logic with no register boundary,
+#: so glitches generated in early stages multiply through the later ones.
+PARALLEL_CASCADE_GLITCH = 1.9
+
+
+def glitch_factor(depth_levels: int) -> float:
+    """Glitch multiplier of a combinational block of the given logic depth."""
+    if depth_levels < 0:
+        raise ValueError("depth must be non-negative")
+    return min(1.0 + GLITCH_SLOPE_PER_LEVEL * depth_levels, MAX_GLITCH_FACTOR)
+
+
+def datapath_toggles(
+    counts: Mapping[str, int],
+    depth_levels: int,
+    base_activity: float = DATAPATH_BASE_ACTIVITY,
+) -> Dict[str, float]:
+    """Expected toggles per cycle for an arithmetic block.
+
+    Every cell in the block is assumed to see the same average activity,
+    scaled by the block's glitch factor.  Adder cells (FA/HA) produce two
+    outputs, which the factor 1.5 below accounts for on average.
+    """
+    factor = base_activity * glitch_factor(depth_levels)
+    toggles: Dict[str, float] = {}
+    for cell, count in counts.items():
+        outputs = 1.5 if cell in ("FA", "HA") else 1.0
+        toggles[cell] = count * factor * outputs
+    return toggles
+
+
+def storage_toggles(counts: Mapping[str, int], activity: float = STORAGE_ACTIVITY) -> Dict[str, float]:
+    """Expected toggles per cycle for hardwired-constant storage."""
+    return {cell: count * activity for cell, count in counts.items()}
+
+
+def control_toggles(counts: Mapping[str, int], activity: float = CONTROL_ACTIVITY) -> Dict[str, float]:
+    """Expected toggles per cycle for control logic (counter, FSM)."""
+    return {cell: count * activity for cell, count in counts.items()}
+
+
+def register_toggles(counts: Mapping[str, int], activity: float = REGISTER_ACTIVITY) -> Dict[str, float]:
+    """Expected toggles per cycle for register banks."""
+    return {cell: count * activity for cell, count in counts.items()}
+
+
+def scale_toggles(toggles: Mapping[str, float], factor: float) -> Dict[str, float]:
+    """Scale a toggle map by a constant factor (e.g. duty cycling a block)."""
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+    return {cell: t * factor for cell, t in toggles.items()}

@@ -1,0 +1,248 @@
+"""Printed floorplanning and fabrication-yield estimation.
+
+Printed classifiers are fabricated on flexible foils whose usable width is
+limited (typical sheet-fed and roll-to-roll printers handle 10-30 cm webs),
+so a design's *shape* matters as much as its area: a 120 cm^2 baseline that
+needs a 14 cm x 9 cm rectangle may simply not fit the label it is meant to
+be part of.  Printed processes also have per-area defect densities orders of
+magnitude above silicon, so large designs pay twice — in foil and in yield.
+
+This module provides a deliberately simple but quantitative model:
+
+* :class:`Floorplanner` places the major blocks of a design in area-balanced
+  rows under a maximum-width constraint and reports the bounding box,
+  aspect ratio and an estimate of total wire length (semi-perimeter model);
+* :func:`fabrication_yield` applies the standard Poisson/Murphy yield model
+  with a printed-scale defect density;
+* :func:`cost_per_working_unit` combines area and yield into the figure that
+  actually matters for disposable printed applications: foil cost per
+  *working* classifier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.cells import CellLibrary
+from repro.hw.netlist import HardwareBlock
+from repro.hw.pdk import EGFET_PDK
+
+#: Usable web width of a typical sheet-fed printed-electronics line (cm).
+DEFAULT_MAX_WIDTH_CM = 20.0
+
+#: Defect density of inkjet-printed EGFET processes (defects per cm^2).
+#: Printed lines/vias fail far more often than photolithographic ones.
+DEFAULT_DEFECT_DENSITY_PER_CM2 = 0.01
+
+#: Foil + ink + curing cost per printed square centimetre (arbitrary currency
+#: units); printed electronics' selling point is that this is *tiny*.
+DEFAULT_COST_PER_CM2 = 0.002
+
+
+@dataclass
+class PlacedBlock:
+    """One block of the floorplan with its position and dimensions (cm)."""
+
+    name: str
+    x_cm: float
+    y_cm: float
+    width_cm: float
+    height_cm: float
+    area_cm2: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x_cm + self.width_cm / 2.0, self.y_cm + self.height_cm / 2.0)
+
+
+@dataclass
+class Floorplan:
+    """Result of placing a design's blocks on the printed foil."""
+
+    design_name: str
+    placed: List[PlacedBlock] = field(default_factory=list)
+    width_cm: float = 0.0
+    height_cm: float = 0.0
+
+    @property
+    def bounding_area_cm2(self) -> float:
+        """Area of the bounding rectangle (what must be printed and diced)."""
+        return self.width_cm * self.height_cm
+
+    @property
+    def cell_area_cm2(self) -> float:
+        """Sum of the placed blocks' areas (excludes row fragmentation)."""
+        return sum(block.area_cm2 for block in self.placed)
+
+    @property
+    def utilization(self) -> float:
+        """Cell area over bounding area (1.0 = perfectly packed rows)."""
+        if self.bounding_area_cm2 == 0:
+            return 0.0
+        return self.cell_area_cm2 / self.bounding_area_cm2
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Width over height of the bounding box (>= 1 reported)."""
+        if self.height_cm == 0 or self.width_cm == 0:
+            return 0.0
+        ratio = self.width_cm / self.height_cm
+        return ratio if ratio >= 1.0 else 1.0 / ratio
+
+    def fits(self, width_cm: float, height_cm: float) -> bool:
+        """Whether the floorplan fits a given label/foil rectangle."""
+        return (self.width_cm <= width_cm and self.height_cm <= height_cm) or (
+            self.width_cm <= height_cm and self.height_cm <= width_cm
+        )
+
+    def estimated_wire_length_cm(self) -> float:
+        """Half-perimeter wire-length estimate over consecutive blocks.
+
+        The sequential datapath is a pipeline storage -> engine -> voter, so
+        the dominant nets run between consecutive blocks; the HPWL between
+        their centres is the standard first-order estimate.
+        """
+        if len(self.placed) < 2:
+            return 0.0
+        total = 0.0
+        for a, b in zip(self.placed, self.placed[1:]):
+            (ax, ay), (bx, by) = a.center, b.center
+            total += abs(ax - bx) + abs(ay - by)
+        return total
+
+    def summary(self) -> str:
+        """Readable floorplan report."""
+        lines = [
+            f"Floorplan of {self.design_name}: "
+            f"{self.width_cm:.1f} cm x {self.height_cm:.1f} cm "
+            f"({self.bounding_area_cm2:.1f} cm^2, utilization {100 * self.utilization:.0f} %)"
+        ]
+        for block in self.placed:
+            lines.append(
+                f"  {block.name:20s} {block.width_cm:5.1f} x {block.height_cm:4.1f} cm "
+                f"at ({block.x_cm:5.1f}, {block.y_cm:5.1f})"
+            )
+        return "\n".join(lines)
+
+
+class Floorplanner:
+    """Row-based placement of a design's top-level blocks.
+
+    Blocks are assumed to be reshapeable (standard-cell rows of printed
+    gates), so each block is given a rectangle of the correct area whose
+    width is capped by the foil width; blocks are stacked left-to-right into
+    rows, opening a new row when the web width would be exceeded.
+    """
+
+    def __init__(
+        self,
+        max_width_cm: float = DEFAULT_MAX_WIDTH_CM,
+        row_height_cm: float = 1.0,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        if max_width_cm <= 0 or row_height_cm <= 0:
+            raise ValueError("floorplan dimensions must be positive")
+        self.max_width_cm = float(max_width_cm)
+        self.row_height_cm = float(row_height_cm)
+        self.library = library or EGFET_PDK
+
+    def floorplan(self, design: HardwareBlock) -> Floorplan:
+        """Place the design's immediate children (or the design itself)."""
+        blocks = design.children if design.children else [design]
+        plan = Floorplan(design_name=design.name)
+        cursor_x = 0.0
+        cursor_y = 0.0
+        row_height = self.row_height_cm
+        max_x = 0.0
+        for child in self._flatten(blocks):
+            area = child.area_cm2(self.library)
+            if area <= 0:
+                continue
+            width = min(area / row_height, self.max_width_cm)
+            height = area / width
+            if cursor_x > 0 and cursor_x + width > self.max_width_cm:
+                cursor_x = 0.0
+                cursor_y += row_height
+            # Tall blocks stretch their row.
+            row_height = max(self.row_height_cm, height)
+            plan.placed.append(
+                PlacedBlock(
+                    name=child.name,
+                    x_cm=cursor_x,
+                    y_cm=cursor_y,
+                    width_cm=width,
+                    height_cm=height,
+                    area_cm2=area,
+                )
+            )
+            cursor_x += width
+            max_x = max(max_x, cursor_x)
+        plan.width_cm = max_x
+        plan.height_cm = cursor_y + row_height if plan.placed else 0.0
+        return plan
+
+    @staticmethod
+    def _flatten(blocks: Sequence[HardwareBlock]) -> List[HardwareBlock]:
+        """One level of flattening: composite wrappers expose their children."""
+        flat: List[HardwareBlock] = []
+        for block in blocks:
+            if block.children and block.counts and len(block.children) > 1:
+                flat.extend(block.children)
+            else:
+                flat.append(block)
+        return flat
+
+
+def fabrication_yield(
+    area_cm2: float,
+    defect_density_per_cm2: float = DEFAULT_DEFECT_DENSITY_PER_CM2,
+    model: str = "murphy",
+) -> float:
+    """Fraction of printed instances that work, as a function of area.
+
+    ``"poisson"`` uses ``exp(-A * D)``; ``"murphy"`` (default) uses Murphy's
+    integral approximation ``((1 - exp(-A D)) / (A D))^2`` which is the usual
+    choice for moderately clustered printing defects.
+    """
+    if area_cm2 < 0 or defect_density_per_cm2 < 0:
+        raise ValueError("area and defect density must be non-negative")
+    ad = area_cm2 * defect_density_per_cm2
+    if ad == 0:
+        return 1.0
+    if model == "poisson":
+        return math.exp(-ad)
+    if model == "murphy":
+        return ((1.0 - math.exp(-ad)) / ad) ** 2
+    raise ValueError(f"unknown yield model {model!r}")
+
+
+def cost_per_working_unit(
+    area_cm2: float,
+    defect_density_per_cm2: float = DEFAULT_DEFECT_DENSITY_PER_CM2,
+    cost_per_cm2: float = DEFAULT_COST_PER_CM2,
+    model: str = "murphy",
+) -> float:
+    """Printing cost divided by yield: the cost of one *working* classifier."""
+    if cost_per_cm2 < 0:
+        raise ValueError("cost per cm^2 must be non-negative")
+    y = fabrication_yield(area_cm2, defect_density_per_cm2, model=model)
+    if y <= 0:
+        return math.inf
+    return area_cm2 * cost_per_cm2 / y
+
+
+def compare_manufacturability(
+    reports: Dict[str, float],
+    defect_density_per_cm2: float = DEFAULT_DEFECT_DENSITY_PER_CM2,
+) -> Dict[str, Dict[str, float]]:
+    """Yield and unit cost for a set of named design areas (cm^2)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, area in reports.items():
+        out[name] = {
+            "area_cm2": float(area),
+            "yield": fabrication_yield(area, defect_density_per_cm2),
+            "cost_per_working_unit": cost_per_working_unit(area, defect_density_per_cm2),
+        }
+    return out

@@ -1,0 +1,315 @@
+"""Netlist abstractions for the printed-hardware estimation flow.
+
+Two levels of structural detail coexist:
+
+* :class:`HardwareBlock` — the workhorse of the cost-estimation flow.  A
+  block is characterised by its cell inventory (``counts``), the cell types
+  along its critical path (``path``) and its expected switching activity per
+  evaluation (``toggles``).  Blocks compose hierarchically (series /
+  parallel), so a whole classifier design is itself one block whose area,
+  delay and energy roll up from its children.  This keeps cost estimation of
+  designs with 10^5 cells instantaneous while remaining faithful to the
+  structural description (exact per-cell-type counts derived from the
+  generator formulas).
+
+* :class:`GateNetlist` — an explicit gate-level netlist (cells + nets with
+  full connectivity).  The RTL generators can emit these for concrete
+  instances; they are used by the gate-level logic simulator
+  (:mod:`repro.hw.simulate`) to verify generated arithmetic against the
+  integer behavioural model, and by the Verilog writer
+  (:mod:`repro.hw.verilog`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hw.cells import CellLibrary
+
+
+# --------------------------------------------------------------------------- #
+# Aggregate (macro) hardware blocks
+# --------------------------------------------------------------------------- #
+class HardwareBlock:
+    """A hardware component characterised by counts, critical path and activity.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical instance name (used in reports).
+    counts:
+        Total number of cells per cell type in the block.
+    path:
+        Number of cells of each type along the block's critical path.  The
+        block delay is the sum of those cells' delays.
+    toggles:
+        Expected number of output transitions per *evaluation* of the block,
+        per cell type (fractional values allowed — they are expectations).
+        Includes glitching.
+    children:
+        Sub-blocks this block was composed from (kept for reporting).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        counts: Optional[Dict[str, int]] = None,
+        path: Optional[Dict[str, int]] = None,
+        toggles: Optional[Dict[str, float]] = None,
+        children: Optional[Sequence["HardwareBlock"]] = None,
+    ) -> None:
+        self.name = name
+        self.counts: Counter = Counter(counts or {})
+        self.path: Counter = Counter(path or {})
+        self.toggles: Dict[str, float] = dict(toggles or {})
+        self.children: List[HardwareBlock] = list(children or [])
+
+    # -- composition ------------------------------------------------------ #
+    def add(self, other: "HardwareBlock", in_series: bool = False) -> "HardwareBlock":
+        """Merge ``other`` into this block.
+
+        ``in_series=True`` means ``other`` is on the same combinational path
+        (its path cells extend this block's critical path); ``False`` means
+        it operates in parallel (the critical path is the longer of the two).
+        """
+        self.counts.update(other.counts)
+        for cell, t in other.toggles.items():
+            self.toggles[cell] = self.toggles.get(cell, 0.0) + t
+        if in_series:
+            self.path.update(other.path)
+        else:
+            # Parallel composition: keep whichever path is worse.  Delay
+            # comparison needs a library, so approximate with the FA-heavy
+            # heuristic: compare weighted level counts.  The precise delay is
+            # always recomputed from `path` with the library at report time,
+            # so only the *choice* of the representative path is heuristic.
+            if _path_weight(other.path) > _path_weight(self.path):
+                self.path = Counter(other.path)
+        self.children.append(other)
+        return self
+
+    def scaled(self, factor: int, name: Optional[str] = None) -> "HardwareBlock":
+        """Return ``factor`` parallel copies of this block as a new block."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        counts = Counter({c: n * factor for c, n in self.counts.items()})
+        toggles = {c: t * factor for c, t in self.toggles.items()}
+        return HardwareBlock(
+            name=name or f"{self.name}_x{factor}",
+            counts=counts,
+            path=Counter(self.path),
+            toggles=toggles,
+            children=[self],
+        )
+
+    # -- physical roll-ups ------------------------------------------------ #
+    def n_cells(self) -> int:
+        """Total number of cells in the block."""
+        return int(sum(self.counts.values()))
+
+    def area_cm2(self, library: CellLibrary) -> float:
+        """Total printed area of the block."""
+        return library.area_of(self.counts)
+
+    def static_power_mw(self, library: CellLibrary) -> float:
+        """Static (cross-current) power of the block."""
+        return library.static_power_of(self.counts)
+
+    def critical_path_delay_ms(self, library: CellLibrary) -> float:
+        """Delay along the recorded critical path."""
+        return library.delay_of_path(self.path)
+
+    def logic_depth(self) -> int:
+        """Number of cells along the critical path."""
+        return int(sum(self.path.values()))
+
+    def switching_energy_mj(self, library: CellLibrary) -> float:
+        """Expected switching energy per evaluation of the block."""
+        return library.switch_energy_of(self.toggles)
+
+    # -- reporting --------------------------------------------------------- #
+    def cell_report(self) -> Dict[str, int]:
+        """Cell inventory as a plain dictionary (sorted by cell name)."""
+        return {name: int(self.counts[name]) for name in sorted(self.counts)}
+
+    def hierarchy_report(self, library: CellLibrary, indent: int = 0) -> str:
+        """Readable area/cell breakdown of the block hierarchy."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.name}: {self.n_cells()} cells, "
+            f"{self.area_cm2(library):.3f} cm^2, depth {self.logic_depth()}"
+        ]
+        for child in self.children:
+            lines.append(child.hierarchy_report(library, indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HardwareBlock({self.name!r}, cells={self.n_cells()})"
+
+
+def _path_weight(path: Counter) -> float:
+    """Heuristic path weight used only to pick the longer of two paths."""
+    # FA and DFF are the slowest common cells; weight by typical delay ratios.
+    weights = {"FA": 3.2, "DFF": 4.0, "XOR2": 1.9, "XNOR2": 1.9, "HA": 2.0, "ADC1": 53.0}
+    return sum(weights.get(cell, 1.0) * n for cell, n in path.items())
+
+
+def series(name: str, blocks: Iterable[HardwareBlock]) -> HardwareBlock:
+    """Compose blocks whose critical paths are concatenated (cascade)."""
+    result = HardwareBlock(name)
+    for block in blocks:
+        result.add(block, in_series=True)
+    return result
+
+
+def parallel(name: str, blocks: Iterable[HardwareBlock]) -> HardwareBlock:
+    """Compose blocks that operate side by side (critical path = worst child)."""
+    result = HardwareBlock(name)
+    for block in blocks:
+        result.add(block, in_series=False)
+    return result
+
+
+def empty_block(name: str = "empty") -> HardwareBlock:
+    """A block with no hardware (used as a neutral element in folds)."""
+    return HardwareBlock(name)
+
+
+# --------------------------------------------------------------------------- #
+# Explicit gate-level netlists
+# --------------------------------------------------------------------------- #
+@dataclass
+class GateInstance:
+    """One cell instance in a :class:`GateNetlist`."""
+
+    name: str
+    cell: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+
+@dataclass
+class GateNetlist:
+    """An explicit structural netlist of library cells.
+
+    Nets are identified by string names.  Primary inputs/outputs are declared
+    explicitly; constant nets ``"1'b0"`` and ``"1'b1"`` are always available.
+    """
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    gates: List[GateInstance] = field(default_factory=list)
+    _net_drivers: Dict[str, str] = field(default_factory=dict)
+    _instance_names: set = field(default_factory=set)
+
+    CONST_ZERO = "1'b0"
+    CONST_ONE = "1'b1"
+
+    # -- construction ------------------------------------------------------ #
+    def add_input(self, net: str) -> str:
+        if net in self.inputs:
+            raise ValueError(f"duplicate primary input {net!r}")
+        if net in self._net_drivers:
+            raise ValueError(f"net {net!r} already driven by {self._net_drivers[net]!r}")
+        self.inputs.append(net)
+        self._net_drivers[net] = "<primary-input>"
+        return net
+
+    def add_inputs(self, prefix: str, width: int) -> List[str]:
+        """Declare a bus of primary inputs ``prefix[0] .. prefix[width-1]``."""
+        return [self.add_input(f"{prefix}[{i}]") for i in range(width)]
+
+    def mark_output(self, net: str) -> None:
+        if net not in self._net_drivers and net not in (self.CONST_ZERO, self.CONST_ONE):
+            raise ValueError(f"cannot mark undriven net {net!r} as output")
+        if net not in self.outputs:
+            self.outputs.append(net)
+
+    def add_gate(
+        self,
+        cell: str,
+        inputs: Sequence[str],
+        outputs: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        """Instantiate a cell; returns the names of its output nets."""
+        index = len(self.gates)
+        inst_name = name or f"u{index}"
+        if inst_name in self._instance_names:
+            raise ValueError(f"duplicate instance name {inst_name!r}")
+        for net in inputs:
+            if net not in self._net_drivers and net not in (
+                self.CONST_ZERO,
+                self.CONST_ONE,
+            ):
+                raise ValueError(f"gate {inst_name!r} reads undriven net {net!r}")
+        if outputs is None:
+            outputs = [f"{inst_name}_o{k}" for k in range(self._n_outputs_of(cell))]
+        for net in outputs:
+            if net in self._net_drivers:
+                raise ValueError(
+                    f"net {net!r} already driven by {self._net_drivers[net]!r}"
+                )
+            self._net_drivers[net] = inst_name
+        gate = GateInstance(
+            name=inst_name, cell=cell, inputs=tuple(inputs), outputs=tuple(outputs)
+        )
+        self.gates.append(gate)
+        self._instance_names.add(inst_name)
+        return gate.outputs
+
+    @staticmethod
+    def _n_outputs_of(cell: str) -> int:
+        # HA/FA produce (sum, carry); everything else in the generic set is 1-output.
+        return 2 if cell in ("HA", "FA") else 1
+
+    # -- queries ----------------------------------------------------------- #
+    def cell_counts(self) -> Counter:
+        """Number of instances per cell type."""
+        return Counter(g.cell for g in self.gates)
+
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    def nets(self) -> List[str]:
+        """All declared nets (inputs plus every gate output)."""
+        nets = list(self.inputs)
+        for gate in self.gates:
+            nets.extend(gate.outputs)
+        return nets
+
+    def driver_of(self, net: str) -> Optional[GateInstance]:
+        """The gate driving ``net`` (None for primary inputs / constants)."""
+        driver = self._net_drivers.get(net)
+        if driver in (None, "<primary-input>"):
+            return None
+        for gate in self.gates:
+            if gate.name == driver:
+                return gate
+        return None
+
+    def fanout_of(self, net: str) -> int:
+        """Number of gate inputs the net drives (plus 1 if it is an output)."""
+        count = sum(1 for gate in self.gates for pin in gate.inputs if pin == net)
+        if net in self.outputs:
+            count += 1
+        return count
+
+    def to_block(self, name: Optional[str] = None, library: Optional[CellLibrary] = None) -> HardwareBlock:
+        """Collapse the explicit netlist into a :class:`HardwareBlock`.
+
+        The critical path is extracted by longest-path analysis over the
+        gate graph (unit = one cell of the gate's type); activity defaults to
+        0.5 toggles per gate per evaluation, which the caller may override.
+        """
+        from repro.hw.timing import longest_path_cells
+
+        counts = self.cell_counts()
+        path = longest_path_cells(self)
+        toggles = {cell: 0.5 * n for cell, n in counts.items()}
+        return HardwareBlock(
+            name=name or self.name, counts=counts, path=path, toggles=toggles
+        )

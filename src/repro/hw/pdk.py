@@ -1,0 +1,232 @@
+"""EGFET-like printed process design kit (PDK).
+
+The paper evaluates its circuits with Synopsys Design Compiler / PrimeTime
+and the EGFET PDK (inkjet-printed electrolyte-gated FET technology, see
+Bleier et al., "Printed microprocessors", ISCA 2020).  That PDK is not
+publicly redistributable, so this module provides a *calibrated stand-in*
+printed cell library with the defining characteristics of the technology:
+
+* cell areas measured in fractions of a square centimetre (feature sizes of
+  tens to hundreds of micrometres),
+* millisecond-scale gate delays, hence circuit frequencies of a few Hz to a
+  few tens of Hz,
+* power dominated by the steady cross-current of resistor-load EGFET logic
+  (static power) plus a switching component that matters for large, deep,
+  glitch-prone combinational datapaths,
+* printed energy sources limited to tens of milliwatts (e.g. the Molex
+  30 mW printed battery cited in the paper).
+
+The absolute numbers below were calibrated once against the published
+baseline rows of the paper's Table I (see ``DESIGN.md``, "Calibration
+policy") and are kept fixed for every experiment in this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hw.cells import GENERIC_CELL_SET, CellLibrary, CellType
+
+# --------------------------------------------------------------------------- #
+# Per-cell physical characterisation
+# --------------------------------------------------------------------------- #
+#: Gate-equivalent factors (NAND2 = 1.0): how much bigger each cell is.
+_GATE_EQUIVALENTS: Dict[str, float] = {
+    "INV": 0.6,
+    "BUF": 0.7,
+    "NAND2": 1.0,
+    "NOR2": 1.0,
+    "AND2": 1.2,
+    "OR2": 1.2,
+    "XOR2": 1.8,
+    "XNOR2": 1.8,
+    "AND3": 1.6,
+    "OR3": 1.6,
+    "MUX2": 1.9,
+    "HA": 2.6,
+    "FA": 6.0,
+    "DFF": 7.0,
+    "ADC1": 40.0,
+}
+
+#: Propagation delay of each cell in milliseconds.
+_DELAYS_MS: Dict[str, float] = {
+    "INV": 0.12,
+    "BUF": 0.14,
+    "NAND2": 0.16,
+    "NOR2": 0.17,
+    "AND2": 0.22,
+    "OR2": 0.22,
+    "XOR2": 0.30,
+    "XNOR2": 0.30,
+    "AND3": 0.27,
+    "OR3": 0.27,
+    "MUX2": 0.26,
+    "HA": 0.33,
+    "FA": 0.52,
+    "DFF": 0.65,
+    "ADC1": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class PDKParameters:
+    """Technology-level calibration constants of the printed PDK.
+
+    Attributes
+    ----------
+    nand2_area_cm2:
+        Area of a minimum-size NAND2 gate; other cells scale by their
+        gate-equivalent factor.
+    nand2_static_power_mw:
+        Static (cross-current) power of a NAND2; scales with gate equivalents.
+    nand2_switch_energy_mj:
+        Energy per output transition of a NAND2 (charging printed nets);
+        scales with gate equivalents.
+    supply_voltage:
+        Nominal supply (V); EGFET logic operates around 1 V.
+    clock_power_overhead:
+        Fractional power overhead of the clock network applied to
+        sequential cells.
+    wire_delay_factor:
+        Fractional delay increase per logic level modelling long printed wires.
+    timing_margin:
+        Fraction of the critical-path delay added as guard band when deriving
+        the operating frequency (clock uncertainty of printed flip-flops).
+    area_wire_delay_per_cm2:
+        Additional fractional path delay per square centimetre of printed
+        area.  Printed wiring runs at centimetre scale, so the RC load seen by
+        the critical path grows with the physical extent of the design; this
+        is why the very large fully-parallel baselines run at single-digit Hz
+        while small sequential designs reach tens of Hz.
+    """
+
+    nand2_area_cm2: float = 0.0030
+    nand2_static_power_mw: float = 0.0024
+    nand2_switch_energy_mj: float = 2.7e-4
+    supply_voltage: float = 1.0
+    clock_power_overhead: float = 0.06
+    wire_delay_factor: float = 0.04
+    timing_margin: float = 0.08
+    area_wire_delay_per_cm2: float = 0.015
+
+
+def build_printed_library(
+    params: Optional[PDKParameters] = None, name: str = "EGFET"
+) -> CellLibrary:
+    """Build the printed cell library from the PDK calibration parameters."""
+    params = params or PDKParameters()
+    cells = []
+    for cell_name, (n_in, n_out, func, is_seq, desc) in GENERIC_CELL_SET.items():
+        ge = _GATE_EQUIVALENTS[cell_name]
+        cells.append(
+            CellType(
+                name=cell_name,
+                n_inputs=n_in,
+                n_outputs=n_out,
+                area_cm2=params.nand2_area_cm2 * ge,
+                static_power_mw=params.nand2_static_power_mw * ge,
+                switch_energy_mj=params.nand2_switch_energy_mj * ge,
+                delay_ms=_DELAYS_MS[cell_name],
+                is_sequential=is_seq,
+                description=desc,
+                function=func,
+            )
+        )
+    return CellLibrary(
+        name=name,
+        cells=cells,
+        supply_voltage=params.supply_voltage,
+        clock_power_overhead=params.clock_power_overhead,
+        wire_delay_factor=params.wire_delay_factor,
+        description=(
+            "Calibrated stand-in for the EGFET printed PDK used in the paper; "
+            "see DESIGN.md for the calibration policy."
+        ),
+    )
+
+
+#: Module-level default library and parameters, shared by the whole flow.
+DEFAULT_PDK_PARAMETERS = PDKParameters()
+EGFET_PDK = build_printed_library(DEFAULT_PDK_PARAMETERS)
+
+
+# --------------------------------------------------------------------------- #
+# Printed energy sources
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PrintedBattery:
+    """A printed/flexible battery or energy harvester.
+
+    Attributes
+    ----------
+    name:
+        Product or family name.
+    max_power_mw:
+        Maximum continuous power the source can deliver.  A circuit is
+        *feasible* on this source if its total power stays below this value.
+    capacity_mwh:
+        Energy capacity; ``None`` for harvesters that deliver power
+        indefinitely but cannot exceed ``max_power_mw``.
+    """
+
+    name: str
+    max_power_mw: float
+    capacity_mwh: Optional[float] = None
+
+    def can_power(self, power_mw: float) -> bool:
+        """Whether a circuit drawing ``power_mw`` can run from this source."""
+        if power_mw < 0:
+            raise ValueError("power must be non-negative")
+        return power_mw <= self.max_power_mw
+
+    def lifetime_hours(self, power_mw: float) -> float:
+        """Battery lifetime (hours) at a constant draw of ``power_mw``.
+
+        Returns ``inf`` for harvesters (no capacity limit) and raises if the
+        draw exceeds the maximum deliverable power.
+        """
+        if not self.can_power(power_mw):
+            raise ValueError(
+                f"{self.name} cannot deliver {power_mw:.2f} mW "
+                f"(max {self.max_power_mw:.2f} mW)"
+            )
+        if self.capacity_mwh is None:
+            return float("inf")
+        if power_mw == 0:
+            return float("inf")
+        return self.capacity_mwh / power_mw
+
+    def classifications_per_charge(self, energy_mj: float) -> float:
+        """How many classifications one full charge sustains."""
+        if energy_mj <= 0:
+            raise ValueError("energy per classification must be positive")
+        if self.capacity_mwh is None:
+            return float("inf")
+        capacity_mj = self.capacity_mwh * 3600.0
+        return capacity_mj / energy_mj
+
+
+#: The printed power source the paper cites as its feasibility threshold.
+MOLEX_30MW = PrintedBattery(name="Molex 30 mW", max_power_mw=30.0, capacity_mwh=90.0)
+
+#: Additional printed sources used by the battery-life example and ablations.
+ZINERGY_15MW = PrintedBattery(name="Zinergy 15 mW", max_power_mw=15.0, capacity_mwh=27.0)
+BLUESPARK_10MW = PrintedBattery(name="Blue Spark 10 mW", max_power_mw=10.0, capacity_mwh=18.0)
+PRINTED_SOLAR_5MW = PrintedBattery(name="Printed solar 5 mW", max_power_mw=5.0, capacity_mwh=None)
+
+PRINTED_BATTERIES: Tuple[PrintedBattery, ...] = (
+    MOLEX_30MW,
+    ZINERGY_15MW,
+    BLUESPARK_10MW,
+    PRINTED_SOLAR_5MW,
+)
+
+
+def gate_equivalents(cell_name: str) -> float:
+    """Gate-equivalent (NAND2-relative) size factor of a library cell."""
+    try:
+        return _GATE_EQUIVALENTS[cell_name]
+    except KeyError:
+        raise KeyError(f"unknown cell {cell_name!r}") from None

@@ -1,0 +1,46 @@
+"""RTL component generators for bespoke printed datapaths.
+
+Each generator returns a :class:`~repro.hw.netlist.HardwareBlock` describing
+the component's cell inventory, critical path and switching activity; the
+small building blocks additionally offer explicit gate-level constructors
+(:class:`~repro.hw.netlist.GateNetlist`) used for logic-level verification
+and Verilog export.
+"""
+
+from repro.hw.rtl.adders import (
+    adder_tree,
+    build_ripple_adder_netlist,
+    ripple_carry_adder,
+)
+from repro.hw.rtl.multipliers import (
+    array_multiplier,
+    build_array_multiplier_netlist,
+    constant_multiplier,
+    csd_digits,
+    csd_nonzero_count,
+)
+from repro.hw.rtl.mux import (
+    constant_mux_storage,
+    mux_tree,
+    storage_table_bits,
+)
+from repro.hw.rtl.comparator import build_comparator_netlist, magnitude_comparator
+from repro.hw.rtl.registers import binary_counter, register_bank
+
+__all__ = [
+    "ripple_carry_adder",
+    "adder_tree",
+    "build_ripple_adder_netlist",
+    "array_multiplier",
+    "constant_multiplier",
+    "build_array_multiplier_netlist",
+    "csd_digits",
+    "csd_nonzero_count",
+    "mux_tree",
+    "constant_mux_storage",
+    "storage_table_bits",
+    "magnitude_comparator",
+    "build_comparator_netlist",
+    "register_bank",
+    "binary_counter",
+]

@@ -1,0 +1,167 @@
+"""Adder generators: ripple-carry adders and multi-operand adder trees.
+
+Printed bespoke datapaths use ripple-carry adders (the area-cheapest choice,
+and speed is not the limiting concern at Hz-range frequencies) and balanced
+binary trees of them for multi-operand accumulation — the "multi-operand
+adder" of the paper's compute engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.hw.activity import datapath_toggles
+from repro.hw.netlist import GateNetlist, HardwareBlock
+
+
+def ripple_carry_adder(width: int, name: str = "rca") -> HardwareBlock:
+    """A ``width``-bit ripple-carry adder (two operands, carry out).
+
+    Structure: one half adder at the least-significant position and full
+    adders elsewhere.  Critical path: the carry chain through every position.
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1")
+    counts = Counter({"HA": 1, "FA": width - 1}) if width > 1 else Counter({"HA": 1})
+    path = Counter(counts)
+    depth = width
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=datapath_toggles(counts, depth),
+    )
+
+
+def ripple_carry_subtractor(width: int, name: str = "rcs") -> HardwareBlock:
+    """A two's-complement subtractor: an RCA plus one inverter per bit."""
+    if width < 1:
+        raise ValueError("subtractor width must be >= 1")
+    counts = Counter({"FA": width, "INV": width})
+    path = Counter({"FA": width, "INV": 1})
+    depth = width + 1
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=datapath_toggles(counts, depth),
+    )
+
+
+def adder_tree(
+    n_operands: int,
+    operand_width: int,
+    name: str = "adder_tree",
+) -> HardwareBlock:
+    """Balanced binary tree of ripple-carry adders summing ``n_operands`` values.
+
+    Each tree level widens its adders by one bit to hold the growing sum.
+    The critical path of a tree of ripple-carry adders is approximately one
+    full ``operand_width``-bit carry chain plus two positions per additional
+    level (the carry chains of consecutive levels overlap), the standard
+    result used when sizing accumulation trees for slow technologies.
+
+    Returns a block whose ``meta`` width information is encoded in the name;
+    the final sum width is ``operand_width + ceil(log2(n_operands))``.
+    """
+    if n_operands < 1:
+        raise ValueError("need at least one operand")
+    if operand_width < 1:
+        raise ValueError("operand width must be >= 1")
+    if n_operands == 1:
+        # Nothing to add: zero-cost wiring block.
+        return HardwareBlock(name=name)
+
+    counts: Counter = Counter()
+    level_width = operand_width
+    remaining = n_operands
+    levels = 0
+    while remaining > 1:
+        n_adders = remaining // 2
+        # Each adder at this level: one HA + (level_width - 1) FAs.
+        counts.update({"HA": n_adders, "FA": n_adders * (level_width - 1)})
+        remaining = n_adders + (remaining % 2)
+        level_width += 1
+        levels += 1
+
+    # Critical path: full ripple through the first level plus ~2 FA per extra level.
+    path_fa = (operand_width - 1) + 2 * max(levels - 1, 0)
+    path = Counter({"HA": 1, "FA": path_fa})
+    depth = path_fa + 1
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=datapath_toggles(counts, depth),
+    )
+
+
+def adder_tree_output_width(n_operands: int, operand_width: int) -> int:
+    """Bit width of the sum of ``n_operands`` values of ``operand_width`` bits."""
+    if n_operands < 1 or operand_width < 1:
+        raise ValueError("invalid adder tree shape")
+    if n_operands == 1:
+        return operand_width
+    return operand_width + int(math.ceil(math.log2(n_operands)))
+
+
+# --------------------------------------------------------------------------- #
+# Explicit gate-level construction (for verification and Verilog export)
+# --------------------------------------------------------------------------- #
+def build_ripple_adder_netlist(
+    width: int,
+    name: str = "rca",
+    with_carry_in: bool = False,
+) -> GateNetlist:
+    """Build an explicit gate-level ripple-carry adder netlist.
+
+    Primary inputs: ``a[width]``, ``b[width]`` (and ``cin`` when requested).
+    Primary outputs: ``sum[width]`` and ``cout``.
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1")
+    netlist = GateNetlist(name=name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+    carry = netlist.add_input("cin") if with_carry_in else GateNetlist.CONST_ZERO
+
+    sum_nets: List[str] = []
+    for i in range(width):
+        if i == 0 and not with_carry_in:
+            s, c = netlist.add_gate("HA", [a[i], b[i]], outputs=[f"sum[{i}]", f"c{i}"])
+        else:
+            s, c = netlist.add_gate(
+                "FA", [a[i], b[i], carry], outputs=[f"sum[{i}]", f"c{i}"]
+            )
+        sum_nets.append(s)
+        carry = c
+    for s in sum_nets:
+        netlist.mark_output(s)
+    netlist.mark_output(carry)
+    return netlist
+
+
+def simulate_ripple_adder(netlist: GateNetlist, a_value: int, b_value: int, width: int, cin: int = 0) -> Tuple[int, int]:
+    """Drive a gate-level RCA netlist with integers and decode (sum, carry).
+
+    Helper used by the verification tests; the generic logic simulator lives
+    in :mod:`repro.hw.simulate`.
+    """
+    from repro.hw.simulate import simulate_combinational
+
+    if a_value < 0 or b_value < 0:
+        raise ValueError("operands must be non-negative")
+    values = {}
+    for i in range(width):
+        values[f"a[{i}]"] = (a_value >> i) & 1
+        values[f"b[{i}]"] = (b_value >> i) & 1
+    if "cin" in netlist.inputs:
+        values["cin"] = cin & 1
+    out = simulate_combinational(netlist, values)
+    total = 0
+    for i in range(width):
+        total |= out[f"sum[{i}]"] << i
+    carry_net = netlist.outputs[-1]
+    return total, out[carry_net]

@@ -1,0 +1,116 @@
+"""Magnitude comparators.
+
+The paper's voter is "essentially a sequential argmax" and "requires only
+two registers (for score and classifier id) and a single comparator": every
+cycle the freshly computed score is compared against the best score seen so
+far (``A > B ?`` in Fig. 1).  The parallel baselines instead need a
+comparator *tree* to find the argmax of all classifier outputs at once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.hw.activity import datapath_toggles
+from repro.hw.netlist import GateNetlist, HardwareBlock
+
+
+def magnitude_comparator(width: int, signed: bool = True, name: str = "cmp") -> HardwareBlock:
+    """A ``width``-bit greater-than comparator.
+
+    Structure (ripple comparator, the area-cheapest form): per bit one XNOR
+    (equality), one AND (greater-at-this-bit gated by equality above) and one
+    OR (accumulate), plus sign handling for signed operands.  Critical path:
+    the ripple through all bit positions.
+    """
+    if width < 1:
+        raise ValueError("comparator width must be >= 1")
+    counts = Counter({"XNOR2": width, "AND2": width, "OR2": width - 1, "INV": width})
+    if signed:
+        # Sign-bit handling: one XOR to detect differing signs and one MUX to
+        # pick between the sign decision and the magnitude decision.
+        counts.update({"XOR2": 1, "MUX2": 1})
+    path = Counter({"XNOR2": 1, "AND2": width, "OR2": max(width - 1, 0)})
+    if signed:
+        path.update({"MUX2": 1})
+    depth = 2 * width + (1 if signed else 0)
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=datapath_toggles(counts, depth),
+    )
+
+
+def argmax_comparator_tree(
+    n_values: int, width: int, index_bits: int, name: str = "argmax_tree"
+) -> HardwareBlock:
+    """Combinational argmax over ``n_values`` scores (parallel baselines).
+
+    A binary tree of comparators; each tree node also needs MUXes to forward
+    the winning score and the winning index to the next level.
+    """
+    if n_values < 1:
+        raise ValueError("need at least one value")
+    if n_values == 1:
+        return HardwareBlock(name=name)
+    import math
+
+    levels = int(math.ceil(math.log2(n_values)))
+    counts = Counter()
+    n_nodes = n_values - 1
+    node_cmp = magnitude_comparator(width, signed=True)
+    counts.update({c: n * n_nodes for c, n in node_cmp.counts.items()})
+    # Score + index forwarding MUXes per node.
+    counts.update({"MUX2": n_nodes * (width + index_bits)})
+
+    path = Counter()
+    for _ in range(levels):
+        path.update(node_cmp.path)
+        path.update({"MUX2": 1})
+    depth = sum(path.values())
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=datapath_toggles(counts, depth),
+    )
+
+
+def build_comparator_netlist(width: int, name: str = "cmp") -> GateNetlist:
+    """Explicit unsigned greater-than comparator netlist (``a > b``).
+
+    Ripple structure from MSB to LSB: ``gt = gt_above OR (eq_above AND a AND !b)``.
+    Primary inputs ``a[width]``, ``b[width]``; primary output ``gt``.
+    """
+    if width < 1:
+        raise ValueError("comparator width must be >= 1")
+    netlist = GateNetlist(name=name)
+    a = netlist.add_inputs("a", width)
+    b = netlist.add_inputs("b", width)
+
+    gt = GateNetlist.CONST_ZERO
+    eq = GateNetlist.CONST_ONE
+    # Walk from the most significant bit down.
+    for i in range(width - 1, -1, -1):
+        not_b = netlist.add_gate("INV", [b[i]], outputs=[f"nb{i}"])[0]
+        a_gt_b = netlist.add_gate("AND2", [a[i], not_b], outputs=[f"agb{i}"])[0]
+        here = netlist.add_gate("AND2", [eq, a_gt_b], outputs=[f"here{i}"])[0]
+        gt = netlist.add_gate("OR2", [gt, here], outputs=[f"gt{i}"])[0]
+        bit_eq = netlist.add_gate("XNOR2", [a[i], b[i]], outputs=[f"eq{i}"])[0]
+        eq = netlist.add_gate("AND2", [eq, bit_eq], outputs=[f"eqacc{i}"])[0]
+    netlist.mark_output(gt)
+    return netlist
+
+
+def simulate_comparator(netlist: GateNetlist, a_value: int, b_value: int, width: int) -> int:
+    """Drive a gate-level comparator netlist; returns 1 when ``a > b``."""
+    from repro.hw.simulate import simulate_combinational
+
+    values = {}
+    for i in range(width):
+        values[f"a[{i}]"] = (a_value >> i) & 1
+        values[f"b[{i}]"] = (b_value >> i) & 1
+    out = simulate_combinational(netlist, values)
+    return out[netlist.outputs[0]]

@@ -1,0 +1,65 @@
+"""Sequential elements: register banks and binary counters.
+
+The sequential SVM needs very little state: the control counter
+(``log2(n)`` bits), the voter's best-score register and best-class-id
+register, and optionally an output register.  These generators price that
+state in printed D flip-flops plus the small amount of surrounding logic
+(enable MUXes, increment logic, terminal-count detection).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.hw.activity import control_toggles, register_toggles
+from repro.hw.netlist import HardwareBlock
+
+
+def register_bank(width: int, with_enable: bool = True, name: str = "reg") -> HardwareBlock:
+    """A ``width``-bit register, optionally with a load-enable MUX per bit."""
+    if width < 1:
+        raise ValueError("register width must be >= 1")
+    counts = Counter({"DFF": width})
+    if with_enable:
+        counts.update({"MUX2": width})
+    path = Counter({"DFF": 1})
+    if with_enable:
+        path.update({"MUX2": 1})
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=register_toggles(counts),
+    )
+
+
+def binary_counter(n_states: int, name: str = "counter") -> HardwareBlock:
+    """A binary up-counter able to count ``n_states`` states.
+
+    This is the paper's control element: "A log2(n)-bit counter is employed
+    for control, responsible for accessing the stored support vectors and
+    terminating the multi-cycle process once all classifiers have been
+    computed."  Structure: one DFF per bit, a half adder per bit for the
+    increment, and an AND-reduce for terminal-count detection.
+    """
+    if n_states < 1:
+        raise ValueError("counter must have at least one state")
+    bits = counter_bits(n_states)
+    counts = Counter({"DFF": bits, "HA": bits, "AND2": max(bits - 1, 0)})
+    path = Counter({"DFF": 1, "HA": bits})
+    return HardwareBlock(
+        name=name,
+        counts=counts,
+        path=path,
+        toggles=control_toggles(counts),
+    )
+
+
+def counter_bits(n_states: int) -> int:
+    """Number of counter bits needed to enumerate ``n_states`` states."""
+    if n_states < 1:
+        raise ValueError("counter must have at least one state")
+    if n_states == 1:
+        return 1
+    return int(math.ceil(math.log2(n_states)))

@@ -1,0 +1,233 @@
+"""Simulation support: gate-level logic simulation and cycle-accurate
+execution of the sequential SVM architecture.
+
+Two simulators live here:
+
+* :func:`simulate_combinational` — zero-delay event-free evaluation of an
+  explicit :class:`~repro.hw.netlist.GateNetlist` in topological order.  Used
+  by the verification tests to prove that the generated adder / multiplier /
+  MUX / comparator netlists compute exactly what the integer behavioural
+  model says they should.
+* :class:`SequentialDatapathSimulator` — a cycle-by-cycle model of the
+  paper's sequential SVM (Fig. 1): every cycle the control counter selects a
+  support vector, the compute engine produces its weighted sum, and the voter
+  updates its best-score / best-class registers.  The trace it produces is
+  compared bit-exactly against the quantized software model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hw.cells import CellLibrary
+from repro.hw.netlist import GateNetlist
+from repro.hw.pdk import EGFET_PDK
+
+
+def simulate_combinational(
+    netlist: GateNetlist,
+    input_values: Dict[str, int],
+    library: Optional[CellLibrary] = None,
+) -> Dict[str, int]:
+    """Evaluate a combinational netlist for one input vector.
+
+    ``input_values`` maps every primary-input net to 0/1.  Returns the value
+    of every net (inputs, internal nets and outputs).  Gates are evaluated in
+    creation order, which the :class:`GateNetlist` builder guarantees to be
+    topological.
+    """
+    library = library or EGFET_PDK
+    values: Dict[str, int] = {
+        GateNetlist.CONST_ZERO: 0,
+        GateNetlist.CONST_ONE: 1,
+    }
+    missing = [net for net in netlist.inputs if net not in input_values]
+    if missing:
+        raise ValueError(f"missing values for primary inputs: {missing}")
+    for net in netlist.inputs:
+        values[net] = 1 if input_values[net] else 0
+
+    for gate in netlist.gates:
+        cell = library[gate.cell]
+        ins = tuple(values[pin] for pin in gate.inputs)
+        outs = cell.evaluate(ins)
+        for net, val in zip(gate.outputs, outs):
+            values[net] = val
+    return values
+
+
+@dataclass
+class CycleTrace:
+    """State of the sequential SVM datapath after one cycle."""
+
+    cycle: int
+    selected_classifier: int
+    weights: np.ndarray
+    bias: int
+    score: int
+    best_score: int
+    best_class: int
+    comparator_fired: bool
+
+
+@dataclass
+class SimulationResult:
+    """Full multi-cycle execution record for one input sample."""
+
+    predicted_class: int
+    n_cycles: int
+    trace: List[CycleTrace] = field(default_factory=list)
+
+    def scores(self) -> List[int]:
+        """Per-classifier integer scores in evaluation order."""
+        return [step.score for step in self.trace]
+
+
+class SequentialDatapathSimulator:
+    """Cycle-accurate model of the proposed sequential SVM circuit.
+
+    Parameters
+    ----------
+    weight_codes:
+        Integer weight codes, shape ``(n_classifiers, n_features)`` — the
+        values hardwired into MUX storage.
+    bias_codes:
+        Integer bias codes, shape ``(n_classifiers,)``.
+
+    The simulator reproduces the exact register-transfer behaviour described
+    in the paper:
+
+    * cycle ``k``: the control counter value ``k`` selects support vector
+      ``k`` from storage; the compute engine produces
+      ``score_k = sum_i w[k, i] * x[i] + b[k]``;
+    * the voter compares ``score_k`` against the stored best score with a
+      strict ``A > B`` comparator and, when it fires, loads the new score and
+      the counter value into its two registers;
+    * after ``n_classifiers`` cycles the best-class register holds the
+      prediction and the controller terminates.
+
+    Cycle 0 initialises the registers with the first classifier's result, as
+    the hardware reset strategy prescribes.
+    """
+
+    def __init__(self, weight_codes: np.ndarray, bias_codes: np.ndarray) -> None:
+        self.weight_codes = np.asarray(weight_codes, dtype=np.int64)
+        self.bias_codes = np.asarray(bias_codes, dtype=np.int64)
+        if self.weight_codes.ndim != 2:
+            raise ValueError("weight_codes must be 2-D")
+        if self.bias_codes.shape[0] != self.weight_codes.shape[0]:
+            raise ValueError("bias_codes and weight_codes disagree on classifier count")
+
+    @property
+    def n_classifiers(self) -> int:
+        return int(self.weight_codes.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.weight_codes.shape[1])
+
+    def run(self, input_codes: Sequence[int]) -> SimulationResult:
+        """Simulate the classification of one quantized input vector."""
+        x = np.asarray(input_codes, dtype=np.int64)
+        if x.ndim != 1 or x.shape[0] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} input codes, got shape {x.shape}"
+            )
+        trace: List[CycleTrace] = []
+        best_score = 0
+        best_class = 0
+        for cycle in range(self.n_classifiers):
+            weights = self.weight_codes[cycle]
+            bias = int(self.bias_codes[cycle])
+            score = int(weights @ x) + bias
+            if cycle == 0:
+                fired = True
+            else:
+                fired = score > best_score
+            if fired:
+                best_score = score
+                best_class = cycle
+            trace.append(
+                CycleTrace(
+                    cycle=cycle,
+                    selected_classifier=cycle,
+                    weights=weights.copy(),
+                    bias=bias,
+                    score=score,
+                    best_score=best_score,
+                    best_class=best_class,
+                    comparator_fired=fired,
+                )
+            )
+        return SimulationResult(
+            predicted_class=best_class, n_cycles=self.n_classifiers, trace=trace
+        )
+
+    def run_batch(self, input_codes: np.ndarray) -> np.ndarray:
+        """Predicted class ids for a batch of quantized input vectors."""
+        input_codes = np.asarray(input_codes, dtype=np.int64)
+        if input_codes.ndim == 1:
+            input_codes = input_codes.reshape(1, -1)
+        return np.array([self.run(row).predicted_class for row in input_codes])
+
+
+class ParallelDatapathSimulator:
+    """Behavioural model of a fully-parallel bespoke classifier.
+
+    All classifier scores are produced combinationally in one evaluation; an
+    argmax (OvR) or a pairwise vote (OvO) resolves the class.  Used to verify
+    the baseline architectures against their quantized software models.
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        bias_codes: np.ndarray,
+        strategy: str = "ovr",
+        pairs: Optional[Sequence[tuple]] = None,
+        n_classes: Optional[int] = None,
+    ) -> None:
+        if strategy not in ("ovr", "ovo"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy == "ovo" and pairs is None:
+            raise ValueError("OvO simulation needs the classifier pairs")
+        self.weight_codes = np.asarray(weight_codes, dtype=np.int64)
+        self.bias_codes = np.asarray(bias_codes, dtype=np.int64)
+        self.strategy = strategy
+        self.pairs = list(pairs) if pairs is not None else None
+        if n_classes is None:
+            if strategy == "ovr":
+                n_classes = self.weight_codes.shape[0]
+            else:
+                n_classes = max(max(p) for p in self.pairs) + 1
+        self.n_classes = int(n_classes)
+
+    def run(self, input_codes: Sequence[int]) -> int:
+        """Classify one quantized input vector; returns the class id."""
+        x = np.asarray(input_codes, dtype=np.int64)
+        scores = self.weight_codes @ x + self.bias_codes
+        if self.strategy == "ovr":
+            return int(np.argmax(scores))
+        votes = np.zeros(self.n_classes, dtype=np.int64)
+        margins = np.zeros(self.n_classes, dtype=np.int64)
+        for k, (i, j) in enumerate(self.pairs):
+            if scores[k] >= 0:
+                votes[j] += 1
+            else:
+                votes[i] += 1
+            margins[j] += scores[k]
+            margins[i] -= scores[k]
+        order = sorted(
+            range(self.n_classes), key=lambda c: (votes[c], margins[c]), reverse=True
+        )
+        return int(order[0])
+
+    def run_batch(self, input_codes: np.ndarray) -> np.ndarray:
+        """Predicted class ids for a batch of quantized input vectors."""
+        input_codes = np.asarray(input_codes, dtype=np.int64)
+        if input_codes.ndim == 1:
+            input_codes = input_codes.reshape(1, -1)
+        return np.array([self.run(row) for row in input_codes])

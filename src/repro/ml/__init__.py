@@ -1,0 +1,63 @@
+"""Machine-learning substrate for printed bespoke classifiers.
+
+This package provides everything the paper's algorithmic flow needs without
+relying on scikit-learn:
+
+* :mod:`repro.ml.svm` — binary linear SVM trained with dual coordinate
+  descent (liblinear-style) or sub-gradient SGD.
+* :mod:`repro.ml.multiclass` — One-vs-Rest and One-vs-One multi-class
+  wrappers (the paper selects OvR to minimise stored support vectors).
+* :mod:`repro.ml.mlp` — a small fully-connected multilayer perceptron used
+  to reproduce the printed-MLP baseline [4].
+* :mod:`repro.ml.preprocessing` — min-max normalisation to ``[0, 1]`` and a
+  deterministic 80/20 train/test split, as used in the paper's setup.
+* :mod:`repro.ml.fixed_point` — fixed-point number formats and rounding.
+* :mod:`repro.ml.quantization` — post-training quantization of weights and
+  biases and the "lowest precision that retains accuracy" search.
+* :mod:`repro.ml.metrics` — accuracy and confusion-matrix helpers.
+"""
+
+from repro.ml.fixed_point import FixedPointFormat, quantize_array, dequantize_array
+from repro.ml.preprocessing import MinMaxScaler, train_test_split
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.svm import LinearSVC
+from repro.ml.multiclass import OneVsRestClassifier, OneVsOneClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.quantization import (
+    QuantizedLinearModel,
+    QuantizedMLPModel,
+    quantize_linear_classifier,
+    quantize_mlp_classifier,
+    search_lowest_precision,
+)
+from repro.ml.feature_selection import (
+    SelectKBest,
+    anova_f_scores,
+    co_design_sweep,
+    mutual_information_scores,
+    select_k_best,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize_array",
+    "dequantize_array",
+    "MinMaxScaler",
+    "train_test_split",
+    "accuracy_score",
+    "confusion_matrix",
+    "LinearSVC",
+    "OneVsRestClassifier",
+    "OneVsOneClassifier",
+    "MLPClassifier",
+    "QuantizedLinearModel",
+    "QuantizedMLPModel",
+    "quantize_linear_classifier",
+    "quantize_mlp_classifier",
+    "search_lowest_precision",
+    "SelectKBest",
+    "anova_f_scores",
+    "co_design_sweep",
+    "mutual_information_scores",
+    "select_k_best",
+]

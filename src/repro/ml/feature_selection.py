@@ -1,0 +1,231 @@
+"""Feature selection for hardware/accuracy co-design.
+
+Every input feature of a bespoke printed classifier costs real silver ink:
+one multiplier in the sequential compute engine (or one constant multiplier
+per classifier in the parallel baselines), one column of MUX storage, and
+one sensor interface.  Dropping weakly-informative features is therefore a
+standard co-design lever in the printed-ML literature, and a natural
+extension of the paper's flow (its future-work direction of pushing the
+energy envelope further).
+
+Two simple, training-free rankers are provided (ANOVA-F and mutual
+information on discretised features) plus :func:`select_k_best`, a
+scikit-learn-style transformer, and :func:`co_design_sweep`, which couples
+feature count with the sequential-SVM hardware cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def anova_f_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """One-way ANOVA F statistic of every feature against the class label.
+
+    Large values mean the feature's class-conditional means differ strongly
+    relative to the within-class variance — exactly the property a linear
+    classifier can exploit.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2 or X.shape[0] != y.shape[0]:
+        raise ValueError("X must be 2-D and aligned with y")
+    classes = np.unique(y)
+    if len(classes) < 2:
+        raise ValueError("need at least two classes")
+    n_samples, n_features = X.shape
+    overall_mean = X.mean(axis=0)
+    between = np.zeros(n_features)
+    within = np.zeros(n_features)
+    for cls in classes:
+        Xc = X[y == cls]
+        if Xc.shape[0] == 0:
+            continue
+        class_mean = Xc.mean(axis=0)
+        between += Xc.shape[0] * (class_mean - overall_mean) ** 2
+        within += ((Xc - class_mean) ** 2).sum(axis=0)
+    df_between = len(classes) - 1
+    df_within = max(n_samples - len(classes), 1)
+    ms_between = between / df_between
+    ms_within = within / df_within
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(ms_within > 0, ms_between / ms_within, np.inf)
+    # Constant features carry no information at all.
+    scores = np.where((ms_within == 0) & (ms_between == 0), 0.0, scores)
+    return scores
+
+
+def mutual_information_scores(
+    X: np.ndarray, y: np.ndarray, n_bins: int = 8
+) -> np.ndarray:
+    """Mutual information between each (discretised) feature and the label.
+
+    Features are bucketed into ``n_bins`` equal-width bins — which matches how
+    the hardware sees them after low-precision input quantization — and the
+    plug-in MI estimate is computed per feature.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2 or X.shape[0] != y.shape[0]:
+        raise ValueError("X must be 2-D and aligned with y")
+    if n_bins < 2:
+        raise ValueError("need at least two bins")
+    n_samples, n_features = X.shape
+    classes, y_idx = np.unique(y, return_inverse=True)
+    p_y = np.bincount(y_idx).astype(float) / n_samples
+
+    scores = np.zeros(n_features)
+    for f in range(n_features):
+        column = X[:, f]
+        lo, hi = column.min(), column.max()
+        if hi <= lo:
+            scores[f] = 0.0
+            continue
+        bins = np.clip(
+            ((column - lo) / (hi - lo) * n_bins).astype(int), 0, n_bins - 1
+        )
+        joint = np.zeros((n_bins, len(classes)))
+        np.add.at(joint, (bins, y_idx), 1.0)
+        joint /= n_samples
+        p_x = joint.sum(axis=1)
+        mi = 0.0
+        for b in range(n_bins):
+            for c in range(len(classes)):
+                if joint[b, c] > 0 and p_x[b] > 0 and p_y[c] > 0:
+                    mi += joint[b, c] * np.log(joint[b, c] / (p_x[b] * p_y[c]))
+        scores[f] = max(mi, 0.0)
+    return scores
+
+
+SCORERS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "anova_f": anova_f_scores,
+    "mutual_information": mutual_information_scores,
+}
+
+
+class SelectKBest:
+    """Keep the ``k`` highest-scoring features (scikit-learn-style API)."""
+
+    def __init__(self, k: int, scorer: str = "anova_f") -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if scorer not in SCORERS:
+            raise ValueError(f"unknown scorer {scorer!r}; available: {sorted(SCORERS)}")
+        self.k = int(k)
+        self.scorer = scorer
+        self.scores_: Optional[np.ndarray] = None
+        self.selected_indices_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SelectKBest":
+        X = np.asarray(X, dtype=float)
+        if self.k > X.shape[1]:
+            raise ValueError(f"k={self.k} exceeds the {X.shape[1]} available features")
+        self.scores_ = SCORERS[self.scorer](X, y)
+        order = np.argsort(self.scores_)[::-1]
+        self.selected_indices_ = np.sort(order[: self.k])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.selected_indices_ is None:
+            raise RuntimeError("SelectKBest must be fitted before use")
+        X = np.asarray(X, dtype=float)
+        return X[:, self.selected_indices_]
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+def select_k_best(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    k: int,
+    scorer: str = "anova_f",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convenience wrapper: returns (X_train_k, X_test_k, selected_indices)."""
+    selector = SelectKBest(k, scorer=scorer).fit(X_train, y_train)
+    return (
+        selector.transform(X_train),
+        selector.transform(X_test),
+        selector.selected_indices_,
+    )
+
+
+@dataclass
+class CoDesignPoint:
+    """One feature-count point of the co-design sweep."""
+
+    n_features: int
+    selected_indices: np.ndarray
+    accuracy_percent: float
+    area_cm2: float
+    power_mw: float
+    energy_mj: float
+
+
+@dataclass
+class CoDesignSweep:
+    """Accuracy / hardware trade-off as the feature count shrinks."""
+
+    dataset: str
+    points: List[CoDesignPoint] = field(default_factory=list)
+
+    def best_within_accuracy_drop(self, max_drop_percent: float) -> CoDesignPoint:
+        """Cheapest point whose accuracy is within ``max_drop_percent`` of the
+        full-feature design."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        full = max(self.points, key=lambda p: p.n_features)
+        eligible = [
+            p
+            for p in self.points
+            if p.accuracy_percent >= full.accuracy_percent - max_drop_percent
+        ]
+        return min(eligible, key=lambda p: p.energy_mj)
+
+
+def co_design_sweep(
+    split,
+    feature_counts: Sequence[int],
+    input_bits: int = 4,
+    weight_bits: int = 6,
+    svm_max_iter: int = 60,
+    dataset: str = "",
+    scorer: str = "anova_f",
+) -> CoDesignSweep:
+    """Sweep the feature count and price the sequential SVM at each point.
+
+    ``split`` is a :class:`~repro.ml.preprocessing.DatasetSplit` whose inputs
+    are already normalised to [0, 1].
+    """
+    from repro.core.sequential_svm import SequentialSVMDesign
+    from repro.ml.multiclass import OneVsRestClassifier
+    from repro.ml.quantization import quantize_linear_classifier
+    from repro.ml.svm import LinearSVC
+
+    sweep = CoDesignSweep(dataset=dataset)
+    for k in sorted(set(int(k) for k in feature_counts), reverse=True):
+        X_train_k, X_test_k, indices = select_k_best(
+            split.X_train, split.y_train, split.X_test, k, scorer=scorer
+        )
+        classifier = OneVsRestClassifier(LinearSVC(max_iter=svm_max_iter, random_state=0))
+        classifier.fit(X_train_k, split.y_train)
+        quantized = quantize_linear_classifier(
+            classifier, input_bits=input_bits, weight_bits=weight_bits
+        )
+        design = SequentialSVMDesign(quantized, dataset=dataset)
+        report = design.evaluate(X_test_k, split.y_test)
+        sweep.points.append(
+            CoDesignPoint(
+                n_features=k,
+                selected_indices=indices,
+                accuracy_percent=report.accuracy_percent,
+                area_cm2=report.area_cm2,
+                power_mw=report.power_mw,
+                energy_mj=report.energy_mj,
+            )
+        )
+    return sweep

@@ -1,0 +1,108 @@
+"""Classification metrics used throughout the reproduction.
+
+The paper reports test-set accuracy (percent).  In addition to plain
+accuracy this module provides the confusion matrix, per-class precision /
+recall / F1 and balanced accuracy, which the examples and ablation studies
+use when analysing the imbalanced wine-quality datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def _as_labels(y: Sequence) -> np.ndarray:
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    return arr
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of correctly classified samples (in ``[0, 1]``)."""
+    y_true = _as_labels(y_true)
+    y_pred = _as_labels(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def accuracy_percent(y_true: Sequence, y_pred: Sequence) -> float:
+    """Accuracy expressed in percent, as reported in the paper's Table I."""
+    return 100.0 * accuracy_score(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = samples of true class i predicted as j."""
+    y_true = _as_labels(y_true).astype(np.int64)
+    y_pred = _as_labels(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    if np.any(y_true < 0) or np.any(y_pred < 0):
+        raise ValueError("labels must be non-negative integers")
+    if np.any(y_true >= n_classes) or np.any(y_pred >= n_classes):
+        raise ValueError("label exceeds n_classes")
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(cm, (y_true, y_pred), 1)
+    return cm
+
+
+def per_class_metrics(y_true: Sequence, y_pred: Sequence) -> Dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 computed from the confusion matrix.
+
+    Classes absent from both ``y_true`` and ``y_pred`` get zero for all three
+    metrics (they carry no information either way).
+    """
+    cm = confusion_matrix(y_true, y_pred)
+    tp = np.diag(cm).astype(float)
+    predicted = cm.sum(axis=0).astype(float)
+    actual = cm.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def balanced_accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Mean per-class recall; robust to the class imbalance of the wine sets."""
+    cm = confusion_matrix(y_true, y_pred)
+    actual = cm.sum(axis=1).astype(float)
+    present = actual > 0
+    if not np.any(present):
+        raise ValueError("no samples present")
+    recall = np.diag(cm)[present] / actual[present]
+    return float(np.mean(recall))
+
+
+def macro_f1_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    metrics = per_class_metrics(y_true, y_pred)
+    return float(np.mean(metrics["f1"]))
+
+
+def classification_report(y_true: Sequence, y_pred: Sequence) -> str:
+    """Readable multi-line report (accuracy, balanced accuracy, per-class F1)."""
+    metrics = per_class_metrics(y_true, y_pred)
+    lines = [
+        f"accuracy          : {accuracy_percent(y_true, y_pred):6.2f} %",
+        f"balanced accuracy : {100.0 * balanced_accuracy_score(y_true, y_pred):6.2f} %",
+        f"macro F1          : {macro_f1_score(y_true, y_pred):6.3f}",
+        "per-class (precision / recall / f1):",
+    ]
+    for cls, (p, r, f) in enumerate(
+        zip(metrics["precision"], metrics["recall"], metrics["f1"])
+    ):
+        lines.append(f"  class {cls:2d}: {p:5.3f} / {r:5.3f} / {f:5.3f}")
+    return "\n".join(lines)

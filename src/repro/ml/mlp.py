@@ -1,0 +1,266 @@
+"""A small multilayer perceptron, used to reproduce the printed-MLP baseline.
+
+The paper compares its sequential SVMs against bespoke printed MLPs [4]
+(Armeniakos et al., "Co-design of approximate multilayer perceptron for
+ultra-resource constrained printed circuits").  Those baselines are small
+fully-connected networks (one hidden layer of a handful of neurons, ReLU
+activations, hardwired quantized weights).  This module trains such networks
+with plain NumPy backpropagation so that the baseline circuits we generate
+carry realistic coefficient values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, the activation used by printed bespoke MLPs."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU with the convention ``relu'(0) = 0``."""
+    return (x > 0.0).astype(float)
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = z - np.max(z, axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=-1, keepdims=True)
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode integer labels."""
+    y = np.asarray(y, dtype=np.int64)
+    if np.any(y < 0) or np.any(y >= n_classes):
+        raise ValueError("label out of range for one-hot encoding")
+    out = np.zeros((y.shape[0], n_classes), dtype=float)
+    out[np.arange(y.shape[0]), y] = 1.0
+    return out
+
+
+@dataclass
+class MLPTrainingHistory:
+    """Loss / accuracy trajectory recorded during training."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    n_epochs: int = 0
+    converged: bool = False
+
+
+class MLPClassifier:
+    """Fully-connected classifier with ReLU hidden layers and softmax output.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Sizes of the hidden layers.  Printed MLP baselines are tiny — the
+        default single hidden layer of 3 neurons matches the topologies used
+        in ultra-resource-constrained printed circuits.
+    learning_rate:
+        Constant step size for mini-batch gradient descent.
+    max_epochs:
+        Maximum number of passes over the training data.
+    batch_size:
+        Mini-batch size; the full dataset is used when larger than the data.
+    l2:
+        L2 weight-decay coefficient.
+    tol:
+        Early-stopping tolerance on the training-loss improvement.
+    patience:
+        Number of epochs without sufficient improvement before stopping.
+    random_state:
+        Seed for weight initialisation and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: Sequence[int] = (3,),
+        learning_rate: float = 0.1,
+        max_epochs: int = 300,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        tol: float = 1e-5,
+        patience: int = 20,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        if any(h < 1 for h in hidden_layer_sizes):
+            raise ValueError("hidden layer sizes must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        self.hidden_layer_sizes = tuple(int(h) for h in hidden_layer_sizes)
+        self.learning_rate = float(learning_rate)
+        self.max_epochs = int(max_epochs)
+        self.batch_size = int(batch_size)
+        self.l2 = float(l2)
+        self.tol = float(tol)
+        self.patience = int(patience)
+        self.random_state = random_state
+
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        self.classes_: Optional[np.ndarray] = None
+        self.history_ = MLPTrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def _init_params(self, n_features: int, n_classes: int, rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden_layer_sizes, n_classes]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialisation, appropriate for ReLU hidden layers.
+            std = np.sqrt(2.0 / fan_in)
+            self.weights_.append(rng.normal(0.0, std, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Return pre-activations and activations for every layer."""
+        pre_acts: List[np.ndarray] = []
+        acts: List[np.ndarray] = [X]
+        a = X
+        n_layers = len(self.weights_)
+        for layer, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = a @ W + b
+            pre_acts.append(z)
+            if layer < n_layers - 1:
+                a = relu(z)
+            else:
+                a = softmax(z)
+            acts.append(a)
+        return pre_acts, acts
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train with mini-batch gradient descent on the cross-entropy loss."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on the number of samples")
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        y_idx = np.array([class_index[v] for v in y], dtype=np.int64)
+        targets = one_hot(y_idx, n_classes)
+
+        rng = np.random.default_rng(self.random_state)
+        self._init_params(X.shape[1], n_classes, rng)
+        self.history_ = MLPTrainingHistory()
+
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        best_loss = np.inf
+        stale = 0
+        for epoch in range(1, self.max_epochs + 1):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                self._step(X[idx], targets[idx])
+            loss = self._loss(X, targets)
+            acc = float(np.mean(self.predict(X) == y))
+            self.history_.losses.append(loss)
+            self.history_.train_accuracies.append(acc)
+            self.history_.n_epochs = epoch
+            if loss < best_loss - self.tol:
+                best_loss = loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    self.history_.converged = True
+                    break
+        return self
+
+    def _step(self, X: np.ndarray, targets: np.ndarray) -> None:
+        pre_acts, acts = self._forward(X)
+        n = X.shape[0]
+        n_layers = len(self.weights_)
+        # Softmax + cross-entropy gradient at the output.
+        delta = (acts[-1] - targets) / n
+        for layer in range(n_layers - 1, -1, -1):
+            grad_w = acts[layer].T @ delta + self.l2 * self.weights_[layer]
+            grad_b = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self.weights_[layer].T) * relu_grad(pre_acts[layer - 1])
+            self.weights_[layer] -= self.learning_rate * grad_w
+            self.biases_[layer] -= self.learning_rate * grad_b
+
+    def _loss(self, X: np.ndarray, targets: np.ndarray) -> float:
+        _, acts = self._forward(X)
+        probs = np.clip(acts[-1], 1e-12, 1.0)
+        ce = -float(np.mean(np.sum(targets * np.log(probs), axis=1)))
+        reg = 0.5 * self.l2 * sum(float(np.sum(W ** 2)) for W in self.weights_)
+        return ce + reg
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def _check_fitted(self) -> None:
+        if not self.weights_:
+            raise RuntimeError("MLPClassifier must be fitted before use")
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Pre-softmax output scores (what the bespoke circuit's argmax sees)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        pre_acts, _ = self._forward(X)
+        return pre_acts[-1]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        _, acts = self._forward(X)
+        return acts[-1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+    # ------------------------------------------------------------------ #
+    # Structure introspection (used by the hardware generators)
+    # ------------------------------------------------------------------ #
+    @property
+    def layer_sizes_(self) -> Tuple[int, ...]:
+        """(n_features, hidden..., n_classes) of the trained network."""
+        self._check_fitted()
+        sizes = [self.weights_[0].shape[0]]
+        sizes.extend(W.shape[1] for W in self.weights_)
+        return tuple(sizes)
+
+    @property
+    def n_parameters_(self) -> int:
+        """Total number of weights and biases (hardwired values in hardware)."""
+        self._check_fitted()
+        return int(
+            sum(W.size for W in self.weights_) + sum(b.size for b in self.biases_)
+        )
+
+    @property
+    def n_multiplications_(self) -> int:
+        """Multiplications per inference — dedicated multipliers in a parallel bespoke MLP."""
+        self._check_fitted()
+        return int(sum(W.size for W in self.weights_))

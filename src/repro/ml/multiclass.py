@@ -1,0 +1,220 @@
+"""Multi-class strategies for linear classifiers: One-vs-Rest and One-vs-One.
+
+The paper compares the two mainstream multi-class reductions:
+
+* **One-vs-One (OvO)** trains ``n (n - 1) / 2`` binary classifiers, one per
+  pair of classes, and predicts by majority vote.  This is what the
+  fully-parallel state of the art uses.
+* **One-vs-Rest (OvR)** trains ``n`` binary classifiers, each separating one
+  class from all others, and predicts the argmax of the decision scores.
+  The paper selects OvR because fewer classifiers means fewer support
+  vectors to store and simpler control, which directly reduces the printed
+  hardware cost.
+
+Both wrappers expose the trained hyperplanes in a uniform way
+(:attr:`coef_`, :attr:`intercept_`) so the downstream quantization and
+hardware-generation stages do not care which strategy produced them.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.svm import LinearSVC
+
+
+class _BaseMulticlass:
+    """Shared plumbing for the OvR / OvO wrappers."""
+
+    def __init__(self, estimator: Optional[LinearSVC] = None) -> None:
+        self.estimator = estimator if estimator is not None else LinearSVC()
+        self.classes_: Optional[np.ndarray] = None
+        self.estimators_: List[LinearSVC] = []
+
+    def _clone_estimator(self) -> LinearSVC:
+        return copy.deepcopy(self.estimator)
+
+    def _check_fitted(self) -> None:
+        if self.classes_ is None or not self.estimators_:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before use")
+
+    @property
+    def n_classes_(self) -> int:
+        self._check_fitted()
+        return int(len(self.classes_))
+
+    @property
+    def n_features_(self) -> int:
+        self._check_fitted()
+        return int(self.estimators_[0].coef_.shape[0])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+
+class OneVsRestClassifier(_BaseMulticlass):
+    """One-vs-Rest reduction: one binary classifier per class.
+
+    For ``n`` classes this stores ``n`` hyperplanes — exactly the ``n``
+    "support vectors" the paper's sequential circuit fetches from MUX storage
+    over ``n`` cycles.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsRestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self.estimators_ = []
+        for cls in self.classes_:
+            binary_y = (y == cls).astype(np.int64)
+            est = self._clone_estimator()
+            est.fit(X, binary_y)
+            self.estimators_.append(est)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Matrix of shape ``(n_samples, n_classes)`` with per-class scores."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.column_stack([est.decision_function(X) for est in self.estimators_])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class with the highest one-vs-rest score (the voter's argmax)."""
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    @property
+    def coef_(self) -> np.ndarray:
+        """Stacked weight matrix of shape ``(n_classes, n_features)``."""
+        self._check_fitted()
+        return np.vstack([est.coef_ for est in self.estimators_])
+
+    @property
+    def intercept_(self) -> np.ndarray:
+        """Bias vector of shape ``(n_classes,)``."""
+        self._check_fitted()
+        return np.array([est.intercept_ for est in self.estimators_])
+
+    @property
+    def n_stored_vectors_(self) -> int:
+        """Number of coefficient vectors that bespoke storage must hold."""
+        return self.n_classes_
+
+
+class OneVsOneClassifier(_BaseMulticlass):
+    """One-vs-One reduction: one binary classifier per *pair* of classes.
+
+    Used to model the state-of-the-art baselines and the OvR-vs-OvO ablation:
+    OvO needs ``n (n - 1) / 2`` hyperplanes, so its storage and control cost
+    grows quadratically with the class count.
+    """
+
+    def __init__(self, estimator: Optional[LinearSVC] = None) -> None:
+        super().__init__(estimator)
+        self.pairs_: List[Tuple[int, int]] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        n = len(self.classes_)
+        if n < 2:
+            raise ValueError("need at least two classes")
+        self.estimators_ = []
+        self.pairs_ = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                ci, cj = self.classes_[i], self.classes_[j]
+                mask = (y == ci) | (y == cj)
+                # Binary labels: 0 for class i, 1 for class j (so the
+                # positive decision score votes for class j).
+                binary_y = (y[mask] == cj).astype(np.int64)
+                est = self._clone_estimator()
+                est.fit(X[mask], binary_y)
+                self.estimators_.append(est)
+                self.pairs_.append((i, j))
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Pairwise decision scores of shape ``(n_samples, n_pairs)``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.column_stack([est.decision_function(X) for est in self.estimators_])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority vote over all pairwise classifiers.
+
+        Ties are broken in favour of the class with the larger accumulated
+        margin, mirroring scikit-learn's behaviour.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        n_samples = X.shape[0]
+        n = len(self.classes_)
+        votes = np.zeros((n_samples, n), dtype=np.int64)
+        margins = np.zeros((n_samples, n), dtype=float)
+        for (i, j), est in zip(self.pairs_, self.estimators_):
+            scores = est.decision_function(X)
+            win_j = scores >= 0.0
+            votes[:, j] += win_j.astype(np.int64)
+            votes[:, i] += (~win_j).astype(np.int64)
+            margins[:, j] += scores
+            margins[:, i] -= scores
+        # Lexicographic argmax on (votes, margins).
+        best = np.zeros(n_samples, dtype=np.int64)
+        for s in range(n_samples):
+            order = sorted(
+                range(n), key=lambda c: (votes[s, c], margins[s, c]), reverse=True
+            )
+            best[s] = order[0]
+        return self.classes_[best]
+
+    @property
+    def coef_(self) -> np.ndarray:
+        """Stacked weight matrix of shape ``(n_pairs, n_features)``."""
+        self._check_fitted()
+        return np.vstack([est.coef_ for est in self.estimators_])
+
+    @property
+    def intercept_(self) -> np.ndarray:
+        """Bias vector of shape ``(n_pairs,)``."""
+        self._check_fitted()
+        return np.array([est.intercept_ for est in self.estimators_])
+
+    @property
+    def n_stored_vectors_(self) -> int:
+        """Number of coefficient vectors that bespoke storage must hold."""
+        return len(self.estimators_)
+
+
+def n_ovr_classifiers(n_classes: int) -> int:
+    """Number of binary classifiers the OvR strategy needs."""
+    if n_classes < 2:
+        raise ValueError("need at least two classes")
+    return n_classes
+
+
+def n_ovo_classifiers(n_classes: int) -> int:
+    """Number of binary classifiers the OvO strategy needs."""
+    if n_classes < 2:
+        raise ValueError("need at least two classes")
+    return n_classes * (n_classes - 1) // 2
+
+
+def storage_advantage_ovr(n_classes: int) -> float:
+    """Ratio of OvO to OvR stored classifiers (>= 1; grows with class count)."""
+    return n_ovo_classifiers(n_classes) / n_ovr_classifiers(n_classes)

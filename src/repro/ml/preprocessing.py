@@ -1,0 +1,250 @@
+"""Preprocessing utilities matching the paper's experimental setup.
+
+The paper's setup section states:
+
+    "Our SVMs are trained with normalized inputs to [0, 1] and a random
+    80%/20% split for training/testing data subsets."
+
+This module provides a :class:`MinMaxScaler` (fit on training data only, so
+no test-set leakage) and a deterministic, seedable :func:`train_test_split`,
+plus :class:`LabelEncoder` for mapping arbitrary class labels to the
+contiguous ``0..n-1`` ids that the hardware voter uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Scale features to a target range (default ``[0, 1]``).
+
+    Mirrors the scikit-learn API subset the flow needs: ``fit``,
+    ``transform``, ``fit_transform`` and ``inverse_transform``.  Constant
+    features (max == min) are mapped to the lower bound of the range rather
+    than producing NaNs.
+    """
+
+    def __init__(self, feature_range: Tuple[float, float] = (0.0, 1.0), clip: bool = True):
+        lo, hi = feature_range
+        if hi <= lo:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self.clip = clip
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+        self.min_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature minima and maxima from ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit scaler on an empty array")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        lo, hi = self.feature_range
+        span = self.data_max_ - self.data_min_
+        # Constant features: avoid division by zero, map everything to `lo`.
+        safe_span = np.where(span == 0.0, 1.0, span)
+        self.scale_ = (hi - lo) / safe_span
+        self.scale_ = np.where(span == 0.0, 0.0, self.scale_)
+        self.min_ = lo - self.data_min_ * self.scale_
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.scale_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before use")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling to ``X``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        out = X * self.scale_ + self.min_
+        if self.clip:
+            lo, hi = self.feature_range
+            out = np.clip(out, lo, hi)
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit to ``X`` and return the scaled data."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map scaled data back to the original feature space."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        safe_scale = np.where(self.scale_ == 0.0, 1.0, self.scale_)
+        out = (X - self.min_) / safe_scale
+        # Constant features collapse back to their single observed value.
+        out = np.where(self.scale_ == 0.0, self.data_min_, out)
+        return out
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integer ids ``0..n-1``.
+
+    The hardware voter identifies classes by the control counter value, so
+    every classifier in the flow works on contiguous integer labels.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y: Sequence) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: Sequence) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before use")
+        y = np.asarray(y)
+        idx = np.searchsorted(self.classes_, y)
+        idx = np.clip(idx, 0, len(self.classes_) - 1)
+        if not np.array_equal(self.classes_[idx], y):
+            unknown = sorted(set(np.asarray(y).tolist()) - set(self.classes_.tolist()))
+            raise ValueError(f"labels {unknown} were not seen during fit")
+        return idx.astype(np.int64)
+
+    def fit_transform(self, y: Sequence) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, ids: Sequence[int]) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before use")
+        ids = np.asarray(ids, dtype=np.int64)
+        if np.any(ids < 0) or np.any(ids >= len(self.classes_)):
+            raise ValueError("class id out of range")
+        return self.classes_[ids]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    random_state: Optional[int] = None,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) train/test split.
+
+    Parameters
+    ----------
+    X, y:
+        Feature matrix and label vector (same first dimension).
+    test_size:
+        Fraction of samples assigned to the test set; the paper uses 0.2.
+    random_state:
+        Seed for reproducibility.
+    stratify:
+        If True, split each class independently so class proportions are
+        preserved — important for the small, imbalanced UCI datasets the
+        paper evaluates.
+
+    Returns
+    -------
+    (X_train, X_test, y_train, y_test)
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    rng = np.random.default_rng(random_state)
+    n = X.shape[0]
+
+    if stratify:
+        test_idx_parts = []
+        train_idx_parts = []
+        for cls in np.unique(y):
+            cls_idx = np.flatnonzero(y == cls)
+            rng.shuffle(cls_idx)
+            n_test = int(round(len(cls_idx) * test_size))
+            # Keep at least one sample on each side when the class allows it.
+            if n_test == 0 and len(cls_idx) > 1:
+                n_test = 1
+            if n_test == len(cls_idx) and len(cls_idx) > 1:
+                n_test -= 1
+            test_idx_parts.append(cls_idx[:n_test])
+            train_idx_parts.append(cls_idx[n_test:])
+        test_idx = np.concatenate(test_idx_parts)
+        train_idx = np.concatenate(train_idx_parts)
+        rng.shuffle(test_idx)
+        rng.shuffle(train_idx)
+    else:
+        perm = rng.permutation(n)
+        n_test = int(round(n * test_size))
+        n_test = min(max(n_test, 1), n - 1)
+        test_idx = perm[:n_test]
+        train_idx = perm[n_test:]
+
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+@dataclass
+class DatasetSplit:
+    """A fully prepared dataset split: scaled features and integer labels."""
+
+    X_train: np.ndarray
+    X_test: np.ndarray
+    y_train: np.ndarray
+    y_test: np.ndarray
+    scaler: MinMaxScaler
+    label_encoder: LabelEncoder
+    feature_names: Sequence[str] = field(default_factory=list)
+
+    @property
+    def n_features(self) -> int:
+        return self.X_train.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.label_encoder.classes_)
+
+    @property
+    def n_train(self) -> int:
+        return self.X_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.X_test.shape[0]
+
+
+def prepare_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    random_state: Optional[int] = 0,
+    feature_range: Tuple[float, float] = (0.0, 1.0),
+    feature_names: Optional[Sequence[str]] = None,
+) -> DatasetSplit:
+    """Run the paper's preprocessing pipeline on raw data.
+
+    Steps: stratified 80/20 split, min-max scaling fitted on the training set
+    only, and label encoding to contiguous ids.
+    """
+    X_train, X_test, y_train_raw, y_test_raw = train_test_split(
+        X, y, test_size=test_size, random_state=random_state, stratify=True
+    )
+    scaler = MinMaxScaler(feature_range=feature_range)
+    X_train_s = scaler.fit_transform(X_train)
+    X_test_s = scaler.transform(X_test)
+    encoder = LabelEncoder()
+    y_train = encoder.fit_transform(y_train_raw)
+    y_test = encoder.transform(y_test_raw)
+    return DatasetSplit(
+        X_train=X_train_s,
+        X_test=X_test_s,
+        y_train=y_train,
+        y_test=y_test,
+        scaler=scaler,
+        label_encoder=encoder,
+        feature_names=list(feature_names) if feature_names is not None else [],
+    )

@@ -1,0 +1,418 @@
+"""Post-training quantization of trained classifiers for bespoke hardware.
+
+The paper states:
+
+    "We train our SVMs with low-precision inputs and post-training, we
+    quantize the SVM weights and biases to the lowest precision that can
+    retain acceptable accuracy."
+
+This module turns a trained floating-point classifier (OvR/OvO linear SVM or
+MLP) into an *integer-exact* model: every input, weight, bias and
+intermediate value is an integer code of a declared
+:class:`~repro.ml.fixed_point.FixedPointFormat`.  The integer model is the
+golden reference that the generated circuits are verified against
+bit-by-bit, and its bit widths drive the hardware cost estimation.
+
+The precision search (:func:`search_lowest_precision`) sweeps the coefficient
+bit width downwards and returns the smallest width whose test accuracy stays
+within a tolerance of the floating-point accuracy — exactly the procedure
+described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ml.fixed_point import (
+    FixedPointFormat,
+    fit_format,
+    required_bits_for_integer,
+    unsigned_input_format,
+)
+from repro.ml.metrics import accuracy_score
+from repro.ml.mlp import MLPClassifier
+from repro.ml.multiclass import OneVsOneClassifier, OneVsRestClassifier
+
+LinearModel = Union[OneVsRestClassifier, OneVsOneClassifier]
+
+
+# --------------------------------------------------------------------------- #
+# Quantized linear (SVM) model
+# --------------------------------------------------------------------------- #
+@dataclass
+class QuantizedLinearModel:
+    """An integer-exact multi-class linear classifier.
+
+    Attributes
+    ----------
+    weight_codes:
+        Integer weight codes of shape ``(n_classifiers, n_features)``.
+    bias_codes:
+        Integer bias codes of shape ``(n_classifiers,)``, already aligned to
+        the *product* scale (``input_format.fraction_bits +
+        weight_format.fraction_bits``) so that the hardware can add them to
+        the accumulated products without any shifting.
+    input_format / weight_format:
+        Fixed-point formats of the activations and of the coefficients.
+    strategy:
+        ``"ovr"`` or ``"ovo"`` — decides how raw scores map to a class.
+    classes:
+        Original class labels, indexed by classifier output id.
+    pairs:
+        For OvO only: the ``(class_i, class_j)`` index pair of each classifier.
+    """
+
+    weight_codes: np.ndarray
+    bias_codes: np.ndarray
+    input_format: FixedPointFormat
+    weight_format: FixedPointFormat
+    strategy: str
+    classes: np.ndarray
+    pairs: Optional[List[Tuple[int, int]]] = None
+
+    def __post_init__(self) -> None:
+        self.weight_codes = np.asarray(self.weight_codes, dtype=np.int64)
+        self.bias_codes = np.asarray(self.bias_codes, dtype=np.int64)
+        if self.weight_codes.ndim != 2:
+            raise ValueError("weight_codes must be 2-D")
+        if self.bias_codes.shape[0] != self.weight_codes.shape[0]:
+            raise ValueError("bias_codes and weight_codes disagree on classifier count")
+        if self.strategy not in ("ovr", "ovo"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.strategy == "ovo" and self.pairs is None:
+            raise ValueError("OvO models must carry their class pairs")
+
+    # -- structural properties used by the hardware generators ----------- #
+    @property
+    def n_classifiers(self) -> int:
+        """Number of stored support vectors (rows of MUX storage)."""
+        return int(self.weight_codes.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features ``m`` (multipliers in the compute engine)."""
+        return int(self.weight_codes.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        return int(len(self.classes))
+
+    @property
+    def score_scale_bits(self) -> int:
+        """Fraction bits of the integer scores (input + weight fraction bits)."""
+        return self.input_format.fraction_bits + self.weight_format.fraction_bits
+
+    @property
+    def accumulator_bits(self) -> int:
+        """Bit width needed to hold any score without overflow.
+
+        Worst case over the hardwired weights: each product is bounded by
+        ``|w_code| * max_input_code``; the accumulator must fit the sum of
+        all product magnitudes plus the bias.
+        """
+        max_in = self.input_format.max_code
+        per_classifier = (
+            np.sum(np.abs(self.weight_codes), axis=1) * max_in
+            + np.abs(self.bias_codes)
+        )
+        worst = int(np.max(per_classifier)) if per_classifier.size else 0
+        return required_bits_for_integer(worst, signed=True)
+
+    # -- integer-exact inference ----------------------------------------- #
+    def quantize_inputs(self, X: np.ndarray) -> np.ndarray:
+        """Quantize real-valued inputs in ``[0, 1]`` to integer codes."""
+        return np.asarray(self.input_format.to_code(X), dtype=np.int64)
+
+    def integer_scores(self, X_codes: np.ndarray) -> np.ndarray:
+        """Integer decision scores for pre-quantized inputs.
+
+        This is exactly what the compute engine produces: for classifier
+        ``k``, ``sum_i w_codes[k, i] * x_codes[i] + bias_codes[k]``.
+        """
+        X_codes = np.asarray(X_codes, dtype=np.int64)
+        if X_codes.ndim == 1:
+            X_codes = X_codes.reshape(1, -1)
+        if X_codes.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {X_codes.shape[1]}"
+            )
+        return X_codes @ self.weight_codes.T + self.bias_codes
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Real-valued scores computed through the integer pipeline."""
+        codes = self.quantize_inputs(X)
+        scores = self.integer_scores(codes)
+        return scores.astype(float) * 2.0 ** (-self.score_scale_bits)
+
+    def predict_ids(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class *ids* (0..n_classes-1), matching the hardware voter."""
+        codes = self.quantize_inputs(X)
+        scores = self.integer_scores(codes)
+        if self.strategy == "ovr":
+            # Sequential voter semantics: strictly-greater comparison, so the
+            # *first* classifier with the maximal score wins ties.
+            return np.argmax(scores, axis=1)
+        return self._ovo_vote(scores)
+
+    def _ovo_vote(self, scores: np.ndarray) -> np.ndarray:
+        n_samples = scores.shape[0]
+        n = self.n_classes
+        votes = np.zeros((n_samples, n), dtype=np.int64)
+        margins = np.zeros((n_samples, n), dtype=np.int64)
+        for k, (i, j) in enumerate(self.pairs):
+            win_j = scores[:, k] >= 0
+            votes[:, j] += win_j.astype(np.int64)
+            votes[:, i] += (~win_j).astype(np.int64)
+            margins[:, j] += scores[:, k]
+            margins[:, i] -= scores[:, k]
+        best = np.zeros(n_samples, dtype=np.int64)
+        for s in range(n_samples):
+            order = sorted(
+                range(n), key=lambda c: (votes[s, c], margins[s, c]), reverse=True
+            )
+            best[s] = order[0]
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (original label values)."""
+        return self.classes[self.predict_ids(X)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Integer-exact test accuracy."""
+        return accuracy_score(y, self.predict(X))
+
+    # -- hardware-facing views -------------------------------------------- #
+    def stored_coefficients(self) -> np.ndarray:
+        """Matrix hardwired into MUX storage: weights and bias per classifier.
+
+        Shape ``(n_classifiers, n_features + 1)`` with the bias in the last
+        column, exactly the words the control counter selects one per cycle.
+        """
+        return np.hstack([self.weight_codes, self.bias_codes.reshape(-1, 1)])
+
+
+# --------------------------------------------------------------------------- #
+# Quantized MLP model
+# --------------------------------------------------------------------------- #
+@dataclass
+class QuantizedMLPModel:
+    """Integer-exact MLP with per-layer quantized weights and biases.
+
+    Hidden activations are kept at full accumulator precision and passed
+    through integer ReLU; this mirrors bespoke printed MLPs, which do not
+    re-quantize between layers (no memory exists — everything is wires).
+    """
+
+    weight_codes: List[np.ndarray]
+    bias_codes: List[np.ndarray]
+    input_format: FixedPointFormat
+    weight_formats: List[FixedPointFormat]
+    classes: np.ndarray
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if len(self.weight_codes) != len(self.bias_codes):
+            raise ValueError("weights and biases disagree on layer count")
+        if len(self.weight_codes) != len(self.weight_formats):
+            raise ValueError("weight formats must match layer count")
+        self.weight_codes = [np.asarray(w, dtype=np.int64) for w in self.weight_codes]
+        self.bias_codes = [np.asarray(b, dtype=np.int64) for b in self.bias_codes]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weight_codes)
+
+    @property
+    def layer_sizes(self) -> Tuple[int, ...]:
+        sizes = [self.weight_codes[0].shape[0]]
+        sizes.extend(W.shape[1] for W in self.weight_codes)
+        return tuple(sizes)
+
+    @property
+    def n_features(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def n_classes(self) -> int:
+        return int(len(self.classes))
+
+    @property
+    def n_multiplications(self) -> int:
+        """Multiplications per inference (dedicated multipliers when parallel)."""
+        return int(sum(W.size for W in self.weight_codes))
+
+    def quantize_inputs(self, X: np.ndarray) -> np.ndarray:
+        """Quantize real-valued inputs in ``[0, 1]`` to integer codes."""
+        return np.asarray(self.input_format.to_code(X), dtype=np.int64)
+
+    def integer_forward(self, X_codes: np.ndarray) -> np.ndarray:
+        """Integer output scores for pre-quantized inputs."""
+        a = np.asarray(X_codes, dtype=np.int64)
+        if a.ndim == 1:
+            a = a.reshape(1, -1)
+        for layer, (W, b) in enumerate(zip(self.weight_codes, self.bias_codes)):
+            z = a @ W + b
+            if layer < self.n_layers - 1:
+                z = np.maximum(z, 0)
+            a = z
+        return a
+
+    def predict_ids(self, X: np.ndarray) -> np.ndarray:
+        scores = self.integer_forward(self.quantize_inputs(X))
+        return np.argmax(scores, axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes[self.predict_ids(X)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return accuracy_score(y, self.predict(X))
+
+
+# --------------------------------------------------------------------------- #
+# Quantization entry points
+# --------------------------------------------------------------------------- #
+def quantize_linear_classifier(
+    model: LinearModel,
+    input_bits: int = 4,
+    weight_bits: int = 6,
+) -> QuantizedLinearModel:
+    """Quantize a trained OvR/OvO linear SVM into an integer-exact model.
+
+    Weights are quantized per-model with a format fitted to the coefficient
+    range (:func:`~repro.ml.fixed_point.fit_format`).  Biases are quantized
+    directly at the *score* scale (input fraction bits + weight fraction
+    bits) so the hardware adds them without shifters.
+    """
+    if input_bits < 1:
+        raise ValueError("input_bits must be >= 1")
+    if weight_bits < 2:
+        raise ValueError("weight_bits must be >= 2")
+    coef = np.asarray(model.coef_, dtype=float)
+    intercept = np.asarray(model.intercept_, dtype=float)
+
+    input_format = unsigned_input_format(input_bits)
+    weight_format = fit_format(coef, total_bits=weight_bits, signed=True)
+    weight_codes = np.asarray(weight_format.to_code(coef), dtype=np.int64)
+
+    score_frac = input_format.fraction_bits + weight_format.fraction_bits
+    bias_codes = np.round(intercept * 2.0 ** score_frac).astype(np.int64)
+
+    strategy = "ovo" if isinstance(model, OneVsOneClassifier) else "ovr"
+    pairs = list(model.pairs_) if strategy == "ovo" else None
+    return QuantizedLinearModel(
+        weight_codes=weight_codes,
+        bias_codes=bias_codes,
+        input_format=input_format,
+        weight_format=weight_format,
+        strategy=strategy,
+        classes=np.asarray(model.classes_),
+        pairs=pairs,
+    )
+
+
+def quantize_mlp_classifier(
+    model: MLPClassifier,
+    input_bits: int = 4,
+    weight_bits: int = 6,
+) -> QuantizedMLPModel:
+    """Quantize a trained MLP into an integer-exact model.
+
+    Each layer gets its own fitted weight format.  Layer ``l`` biases are
+    scaled to that layer's accumulated fraction bits so additions line up,
+    mirroring how bespoke printed MLP datapaths are generated.
+    """
+    if not model.weights_:
+        raise RuntimeError("MLP must be fitted before quantization")
+    input_format = unsigned_input_format(input_bits)
+
+    weight_codes: List[np.ndarray] = []
+    bias_codes: List[np.ndarray] = []
+    weight_formats: List[FixedPointFormat] = []
+    # Fraction bits of the activations entering each layer.  Layer outputs are
+    # kept at full precision (no re-quantization), so fraction bits accumulate.
+    act_frac = input_format.fraction_bits
+    for W, b in zip(model.weights_, model.biases_):
+        fmt = fit_format(W, total_bits=weight_bits, signed=True)
+        weight_formats.append(fmt)
+        weight_codes.append(np.asarray(fmt.to_code(W), dtype=np.int64))
+        out_frac = act_frac + fmt.fraction_bits
+        bias_codes.append(np.round(np.asarray(b) * 2.0 ** out_frac).astype(np.int64))
+        act_frac = out_frac
+
+    return QuantizedMLPModel(
+        weight_codes=weight_codes,
+        bias_codes=bias_codes,
+        input_format=input_format,
+        weight_formats=weight_formats,
+        classes=np.asarray(model.classes_),
+    )
+
+
+@dataclass
+class PrecisionSearchResult:
+    """Outcome of the lowest-precision search."""
+
+    weight_bits: int
+    accuracy: float
+    float_accuracy: float
+    quantized_model: Union[QuantizedLinearModel, QuantizedMLPModel]
+    trace: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Accuracy lost relative to the floating-point model (fraction)."""
+        return self.float_accuracy - self.accuracy
+
+
+def search_lowest_precision(
+    model: Union[LinearModel, MLPClassifier],
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    input_bits: int = 4,
+    max_weight_bits: int = 10,
+    min_weight_bits: int = 2,
+    accuracy_tolerance: float = 0.01,
+) -> PrecisionSearchResult:
+    """Find the lowest coefficient precision that retains acceptable accuracy.
+
+    Sweeps the weight bit width downwards from ``max_weight_bits`` and keeps
+    the smallest width whose validation accuracy is within
+    ``accuracy_tolerance`` (absolute, as a fraction) of the floating-point
+    accuracy.  This is the paper's post-training quantization procedure.
+    """
+    if min_weight_bits < 2 or max_weight_bits < min_weight_bits:
+        raise ValueError("invalid bit-width search range")
+    float_acc = accuracy_score(y_val, model.predict(X_val))
+
+    def _quantize(bits: int):
+        if isinstance(model, MLPClassifier):
+            return quantize_mlp_classifier(model, input_bits=input_bits, weight_bits=bits)
+        return quantize_linear_classifier(model, input_bits=input_bits, weight_bits=bits)
+
+    trace: List[Tuple[int, float]] = []
+    best_bits = max_weight_bits
+    best_model = _quantize(max_weight_bits)
+    best_acc = best_model.score(X_val, y_val)
+    trace.append((max_weight_bits, best_acc))
+
+    for bits in range(max_weight_bits - 1, min_weight_bits - 1, -1):
+        candidate = _quantize(bits)
+        acc = candidate.score(X_val, y_val)
+        trace.append((bits, acc))
+        if acc + accuracy_tolerance >= float_acc:
+            best_bits, best_model, best_acc = bits, candidate, acc
+        else:
+            # Precision has dropped below the acceptable band; since accuracy
+            # is (noisily) monotone in precision, stop the downward sweep.
+            break
+
+    return PrecisionSearchResult(
+        weight_bits=best_bits,
+        accuracy=best_acc,
+        float_accuracy=float_acc,
+        quantized_model=best_model,
+        trace=trace,
+    )

@@ -1,0 +1,318 @@
+"""Linear Support Vector Machine training.
+
+The paper employs linear-kernel SVMs ("due to their simplicity and reduced
+hardware complexity"): every classifier computes ``y = sum_i w_i x_i + b``
+and the sign (binary case) or the argmax over classifiers (multi-class case)
+decides the class.  Because scikit-learn is not available offline, this
+module implements two standard linear-SVM trainers from scratch:
+
+* **Dual coordinate descent** (the liblinear algorithm of Hsieh et al.,
+  ICML 2008) for the L2-regularised L1-loss / L2-loss SVM.  This is the
+  default: it is deterministic given a seed, fast for the small UCI-sized
+  datasets of the paper, and exposes the dual coefficients, i.e. which
+  training samples act as support vectors.
+* **Sub-gradient SGD** (Pegasos-style) as an alternative optimiser, useful
+  for cross-checking and for the property-based tests.
+
+Only the primal weight vector and bias are needed downstream: they are what
+gets quantized and hardwired into the bespoke circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SVMTrainingHistory:
+    """Convergence diagnostics recorded during training."""
+
+    n_iterations: int = 0
+    converged: bool = False
+    final_violation: float = float("inf")
+    objective: float = float("nan")
+
+
+class LinearSVC:
+    """Binary linear SVM classifier.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularisation strength (larger C = less regularisation).
+    loss:
+        ``"hinge"`` (L1 loss) or ``"squared_hinge"`` (L2 loss).
+    solver:
+        ``"dual_cd"`` (dual coordinate descent, default) or ``"sgd"``.
+    max_iter:
+        Maximum number of passes over the training data.
+    tol:
+        Convergence tolerance on the maximal projected-gradient violation
+        (dual solver) or on the relative weight change (SGD solver).
+    fit_intercept:
+        If True an (unregularised via augmentation) bias term is learned.
+    random_state:
+        Seed controlling the permutation order / SGD sampling.
+
+    Attributes
+    ----------
+    coef_:
+        Weight vector of shape ``(n_features,)``.
+    intercept_:
+        Scalar bias ``b``.
+    dual_coef_:
+        Dual variables ``alpha`` (only for the dual solver); non-zero entries
+        identify the support vectors.
+    support_:
+        Indices of training samples with non-zero dual coefficient.
+    history_:
+        :class:`SVMTrainingHistory` with convergence information.
+
+    Notes
+    -----
+    Labels must be binary.  Internally they are mapped to ``{-1, +1}`` with
+    the *larger* original label mapped to ``+1`` so that ``decision_function``
+    is positive for that class.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        loss: str = "squared_hinge",
+        solver: str = "dual_cd",
+        max_iter: int = 1000,
+        tol: float = 1e-4,
+        fit_intercept: bool = True,
+        intercept_scaling: float = 1.0,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        if loss not in ("hinge", "squared_hinge"):
+            raise ValueError(f"unknown loss {loss!r}")
+        if solver not in ("dual_cd", "sgd"):
+            raise ValueError(f"unknown solver {solver!r}")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.C = float(C)
+        self.loss = loss
+        self.solver = solver
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.fit_intercept = bool(fit_intercept)
+        self.intercept_scaling = float(intercept_scaling)
+        self.random_state = random_state
+
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.dual_coef_: Optional[np.ndarray] = None
+        self.support_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.history_ = SVMTrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> "LinearSVC":
+        """Train on a binary-labelled dataset."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on the number of samples")
+        classes = np.unique(y)
+        if len(classes) != 2:
+            raise ValueError(
+                f"LinearSVC is a binary classifier; got {len(classes)} classes. "
+                "Use OneVsRestClassifier / OneVsOneClassifier for multi-class."
+            )
+        self.classes_ = classes
+        # Map to {-1, +1}: larger label -> +1.
+        y_signed = np.where(y == classes[1], 1.0, -1.0)
+
+        if sample_weight is None:
+            sample_weight = np.ones(X.shape[0], dtype=float)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape[0] != X.shape[0]:
+                raise ValueError("sample_weight length mismatch")
+            if np.any(sample_weight < 0):
+                raise ValueError("sample_weight entries must be non-negative")
+
+        if self.fit_intercept:
+            X_aug = np.hstack(
+                [X, np.full((X.shape[0], 1), self.intercept_scaling, dtype=float)]
+            )
+        else:
+            X_aug = X
+
+        if self.solver == "dual_cd":
+            w_aug = self._fit_dual_cd(X_aug, y_signed, sample_weight)
+        else:
+            w_aug = self._fit_sgd(X_aug, y_signed, sample_weight)
+
+        if self.fit_intercept:
+            self.coef_ = w_aug[:-1].copy()
+            self.intercept_ = float(w_aug[-1] * self.intercept_scaling)
+        else:
+            self.coef_ = w_aug.copy()
+            self.intercept_ = 0.0
+        return self
+
+    def _fit_dual_cd(
+        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray
+    ) -> np.ndarray:
+        """Dual coordinate descent for L1/L2-loss linear SVM (Hsieh et al.)."""
+        n_samples, n_features = X.shape
+        rng = np.random.default_rng(self.random_state)
+
+        if self.loss == "hinge":
+            # L1 loss: 0 <= alpha_i <= C_i, diagonal term D_ii = 0
+            upper = self.C * sample_weight
+            diag = np.zeros(n_samples)
+        else:
+            # L2 loss: 0 <= alpha_i < inf, D_ii = 1 / (2 C_i)
+            upper = np.full(n_samples, np.inf)
+            with np.errstate(divide="ignore"):
+                diag = np.where(
+                    sample_weight > 0, 1.0 / (2.0 * self.C * sample_weight), np.inf
+                )
+
+        alpha = np.zeros(n_samples)
+        w = np.zeros(n_features)
+        # Q_ii = x_i . x_i + D_ii
+        q_diag = np.einsum("ij,ij->i", X, X) + diag
+
+        converged = False
+        iteration = 0
+        max_violation = float("inf")
+        active = np.arange(n_samples)
+        for iteration in range(1, self.max_iter + 1):
+            rng.shuffle(active)
+            max_violation = 0.0
+            for i in active:
+                if sample_weight[i] == 0:
+                    continue
+                g = y[i] * float(X[i] @ w) - 1.0 + diag[i] * alpha[i]
+                # Projected gradient
+                if alpha[i] <= 0.0:
+                    pg = min(g, 0.0)
+                elif alpha[i] >= upper[i]:
+                    pg = max(g, 0.0)
+                else:
+                    pg = g
+                max_violation = max(max_violation, abs(pg))
+                if abs(pg) > 1e-14:
+                    if q_diag[i] <= 0:
+                        continue
+                    alpha_old = alpha[i]
+                    alpha[i] = min(max(alpha[i] - g / q_diag[i], 0.0), upper[i])
+                    delta = (alpha[i] - alpha_old) * y[i]
+                    if delta != 0.0:
+                        w += delta * X[i]
+            if max_violation < self.tol:
+                converged = True
+                break
+
+        self.dual_coef_ = alpha
+        self.support_ = np.flatnonzero(alpha > 1e-12)
+        self.history_ = SVMTrainingHistory(
+            n_iterations=iteration,
+            converged=converged,
+            final_violation=max_violation,
+            objective=self._primal_objective(X, y, w, sample_weight),
+        )
+        return w
+
+    def _fit_sgd(
+        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray
+    ) -> np.ndarray:
+        """Pegasos-style sub-gradient descent on the primal objective."""
+        n_samples, n_features = X.shape
+        rng = np.random.default_rng(self.random_state)
+        lam = 1.0 / (self.C * max(1, n_samples))
+        w = np.zeros(n_features)
+        t = 0
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            order = rng.permutation(n_samples)
+            w_before = w.copy()
+            for i in order:
+                t += 1
+                eta = 1.0 / (lam * t)
+                margin = y[i] * float(X[i] @ w)
+                w *= 1.0 - eta * lam
+                if self.loss == "hinge":
+                    if margin < 1.0:
+                        w += eta * sample_weight[i] * y[i] * X[i] / n_samples * self.C * lam * n_samples
+                else:
+                    if margin < 1.0:
+                        w += eta * sample_weight[i] * 2.0 * (1.0 - margin) * y[i] * X[i] / n_samples * self.C * lam * n_samples
+            change = float(np.linalg.norm(w - w_before))
+            scale = float(np.linalg.norm(w)) + 1e-12
+            if change / scale < self.tol:
+                converged = True
+                break
+        self.dual_coef_ = None
+        self.support_ = None
+        self.history_ = SVMTrainingHistory(
+            n_iterations=iteration,
+            converged=converged,
+            final_violation=float("nan"),
+            objective=self._primal_objective(X, y, w, sample_weight),
+        )
+        return w
+
+    def _primal_objective(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, sample_weight: np.ndarray
+    ) -> float:
+        margins = 1.0 - y * (X @ w)
+        hinge = np.maximum(margins, 0.0)
+        if self.loss == "squared_hinge":
+            loss = np.sum(sample_weight * hinge ** 2)
+        else:
+            loss = np.sum(sample_weight * hinge)
+        return 0.5 * float(w @ w) + self.C * float(loss)
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise RuntimeError("LinearSVC must be fitted before use")
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distance-like score ``w.x + b`` for each sample."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"expected {self.coef_.shape[0]} features, got {X.shape[1]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (the original labels passed to ``fit``)."""
+        self._check_fitted()
+        scores = self.decision_function(X)
+        return np.where(scores >= 0.0, self.classes_[1], self.classes_[0])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+    @property
+    def n_support_(self) -> int:
+        """Number of support vectors (dual solver only)."""
+        if self.support_ is None:
+            raise RuntimeError("support vectors are only tracked by the dual solver")
+        return int(len(self.support_))

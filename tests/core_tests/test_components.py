@@ -1,0 +1,249 @@
+"""Tests for the architectural components: storage, control, engine, voter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute_engine import FoldedComputeEngine
+from repro.core.control import SequentialController
+from repro.core.storage import CrossbarRomStorage, MuxStorage, storage_bits_for_model
+from repro.core.voter import CombinationalArgmaxVoter, SequentialArgmaxVoter
+
+
+class TestMuxStorage:
+    @pytest.fixture()
+    def table(self, quantized_ovr):
+        return quantized_ovr.stored_coefficients()
+
+    @pytest.fixture()
+    def bits(self, quantized_ovr):
+        return storage_bits_for_model(
+            quantized_ovr.weight_format.total_bits,
+            quantized_ovr.n_features,
+            quantized_ovr.accumulator_bits,
+        )
+
+    def test_geometry(self, table, bits, quantized_ovr):
+        storage = MuxStorage(table, bits)
+        assert storage.n_words == quantized_ovr.n_classifiers
+        assert storage.n_values_per_word == quantized_ovr.n_features + 1
+        assert storage.word_bits == sum(bits)
+        assert storage.total_bits == storage.n_words * storage.word_bits
+
+    def test_read_returns_stored_word(self, table, bits):
+        storage = MuxStorage(table, bits)
+        for idx in range(storage.n_words):
+            assert np.array_equal(storage.read(idx), table[idx])
+
+    def test_read_out_of_range_rejected(self, table, bits):
+        storage = MuxStorage(table, bits)
+        with pytest.raises(IndexError):
+            storage.read(storage.n_words)
+        with pytest.raises(IndexError):
+            storage.read(-1)
+
+    def test_select_bits(self, table, bits):
+        storage = MuxStorage(table, bits)
+        assert storage.select_bits == max(1, int(np.ceil(np.log2(storage.n_words))))
+
+    def test_hardware_nonempty(self, table, bits):
+        assert MuxStorage(table, bits).hardware().n_cells() > 0
+
+    def test_mismatched_bits_rejected(self, table):
+        with pytest.raises(ValueError):
+            MuxStorage(table, [4])
+
+    def test_storage_bits_for_model_layout(self):
+        bits = storage_bits_for_model(6, 4, 15)
+        assert bits == [6, 6, 6, 6, 15]
+        with pytest.raises(ValueError):
+            storage_bits_for_model(0, 4, 15)
+
+
+class TestCrossbarRomStorage:
+    def test_crossbar_more_expensive_than_mux(self, quantized_ovr):
+        """The paper rejects the crossbar ROM because printed ADCs dominate."""
+        table = quantized_ovr.stored_coefficients()
+        bits = storage_bits_for_model(
+            quantized_ovr.weight_format.total_bits,
+            quantized_ovr.n_features,
+            quantized_ovr.accumulator_bits,
+        )
+        from repro.hw.pdk import EGFET_PDK
+
+        mux = MuxStorage(table, bits)
+        rom = CrossbarRomStorage(table, bits)
+        assert rom.hardware().area_cm2(EGFET_PDK) > mux.hardware().area_cm2(EGFET_PDK)
+
+    def test_crossbar_contains_adcs(self, quantized_ovr):
+        table = quantized_ovr.stored_coefficients()
+        bits = storage_bits_for_model(
+            quantized_ovr.weight_format.total_bits,
+            quantized_ovr.n_features,
+            quantized_ovr.accumulator_bits,
+        )
+        rom = CrossbarRomStorage(table, bits)
+        assert rom.hardware().counts["ADC1"] == rom.word_bits
+
+    def test_read_matches_mux(self, quantized_ovr):
+        table = quantized_ovr.stored_coefficients()
+        bits = storage_bits_for_model(
+            quantized_ovr.weight_format.total_bits,
+            quantized_ovr.n_features,
+            quantized_ovr.accumulator_bits,
+        )
+        rom = CrossbarRomStorage(table, bits)
+        mux = MuxStorage(table, bits)
+        for idx in range(rom.n_words):
+            assert np.array_equal(rom.read(idx), mux.read(idx))
+
+
+class TestSequentialController:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 7, 10])
+    def test_select_sequence_covers_all_classifiers(self, n):
+        controller = SequentialController(n)
+        assert controller.run_sequence() == list(range(n))
+        assert controller.cycles_per_classification == n
+
+    def test_counter_bits_match_paper_formula(self):
+        # The paper: a log2(n)-bit counter for n classifiers.
+        assert SequentialController(10).counter_bits == 4
+        assert SequentialController(6).counter_bits == 3
+        assert SequentialController(3).counter_bits == 2
+
+    def test_done_raised_then_cleared(self):
+        controller = SequentialController(3)
+        state = controller.reset()
+        state = controller.step(state)  # 0 -> 1
+        state = controller.step(state)  # 1 -> 2? no: counter 1 -> 2
+        state = controller.step(state)  # terminal
+        assert state.done
+        state = controller.step(state)
+        assert not state.done
+        assert state.counter == 0
+
+    def test_hardware_is_tiny(self):
+        from repro.hw.pdk import EGFET_PDK
+
+        block = SequentialController(10).hardware()
+        assert block.area_cm2(EGFET_PDK) < 0.5
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialController(0)
+
+
+class TestFoldedComputeEngine:
+    def test_one_multiplier_per_feature(self):
+        engine = FoldedComputeEngine(21, 4, 6, 20)
+        assert engine.n_multipliers == 21
+
+    def test_compute_matches_integer_dot_product(self, rng):
+        engine = FoldedComputeEngine(8, 4, 6, 24)
+        for _ in range(20):
+            x = rng.integers(0, 16, size=8)
+            w = rng.integers(-32, 32, size=8)
+            b = int(rng.integers(-200, 200))
+            assert engine.compute(x, w, b) == int(w @ x) + b
+
+    def test_compute_all_matches_matrix_product(self, rng):
+        engine = FoldedComputeEngine(5, 4, 6, 24)
+        x = rng.integers(0, 16, size=5)
+        W = rng.integers(-32, 32, size=(4, 5))
+        b = rng.integers(-100, 100, size=4)
+        scores = engine.compute_all(x, W, b)
+        assert np.array_equal(scores, W @ x + b)
+
+    def test_overflow_detected(self):
+        engine = FoldedComputeEngine(2, 4, 6, 8)
+        with pytest.raises(OverflowError):
+            engine.compute([15, 15], [31, 31], 1000)
+
+    def test_wrong_operand_count_rejected(self):
+        engine = FoldedComputeEngine(4, 4, 6, 20)
+        with pytest.raises(ValueError):
+            engine.compute([1, 2], [1, 2, 3, 4], 0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            FoldedComputeEngine(0, 4, 6, 20)
+        with pytest.raises(ValueError):
+            FoldedComputeEngine(4, 0, 6, 20)
+
+    def test_hardware_scales_with_features(self):
+        small = FoldedComputeEngine(5, 4, 6, 20).hardware()
+        large = FoldedComputeEngine(20, 4, 6, 22).hardware()
+        assert large.n_cells() > 2 * small.n_cells()
+
+    def test_hardware_independent_of_classifier_count(self):
+        """Folding: the engine does not grow with the number of classes."""
+        engine = FoldedComputeEngine(10, 4, 6, 22)
+        assert engine.hardware().n_cells() == FoldedComputeEngine(10, 4, 6, 22).hardware().n_cells()
+
+
+class TestSequentialVoter:
+    def test_decide_matches_argmax(self, rng):
+        voter = SequentialArgmaxVoter(score_bits=16, index_bits=3)
+        for _ in range(30):
+            scores = rng.integers(-1000, 1000, size=6).tolist()
+            assert voter.decide(scores) == int(np.argmax(scores))
+
+    def test_tie_goes_to_first(self):
+        voter = SequentialArgmaxVoter(score_bits=8, index_bits=2)
+        assert voter.decide([5, 5, 5]) == 0
+        assert voter.decide([1, 7, 7]) == 1
+
+    def test_all_negative_scores(self):
+        voter = SequentialArgmaxVoter(score_bits=8, index_bits=2)
+        assert voter.decide([-10, -3, -7]) == 1
+
+    def test_update_is_pure(self):
+        voter = SequentialArgmaxVoter(score_bits=8, index_bits=2)
+        state = voter.reset()
+        new_state = voter.update(state, 5, 0)
+        assert state.best_score == 0 and not state.initialized
+        assert new_state.best_score == 5 and new_state.initialized
+
+    def test_empty_scores_rejected(self):
+        voter = SequentialArgmaxVoter(score_bits=8, index_bits=2)
+        with pytest.raises(ValueError):
+            voter.decide([])
+
+    def test_hardware_has_exactly_two_registers_and_one_comparator(self):
+        """Paper: 'two registers ... and a single comparator'."""
+        voter = SequentialArgmaxVoter(score_bits=16, index_bits=4)
+        block = voter.hardware()
+        assert block.counts["DFF"] == 16 + 4
+        assert block.counts["XNOR2"] == 16  # one 16-bit comparator, not a tree
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialArgmaxVoter(score_bits=0, index_bits=2)
+
+    @given(st.lists(st.integers(min_value=-500, max_value=500), min_size=1, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_voter_equals_argmax_property(self, scores):
+        voter = SequentialArgmaxVoter(score_bits=16, index_bits=4)
+        assert voter.decide(scores) == int(np.argmax(scores))
+
+
+class TestCombinationalVoter:
+    def test_decide_matches_argmax(self, rng):
+        voter = CombinationalArgmaxVoter(5, score_bits=12, index_bits=3)
+        for _ in range(20):
+            scores = rng.integers(-100, 100, size=5).tolist()
+            assert voter.decide(scores) == int(np.argmax(scores))
+
+    def test_wrong_score_count_rejected(self):
+        voter = CombinationalArgmaxVoter(4, score_bits=8, index_bits=2)
+        with pytest.raises(ValueError):
+            voter.decide([1, 2])
+
+    def test_sequential_voter_cheaper_than_combinational_tree(self):
+        """The sequential argmax is the area argument of the paper's voter."""
+        from repro.hw.pdk import EGFET_PDK
+
+        seq = SequentialArgmaxVoter(score_bits=16, index_bits=4).hardware()
+        comb = CombinationalArgmaxVoter(10, score_bits=16, index_bits=4).hardware()
+        assert seq.area_cm2(EGFET_PDK) < comb.area_cm2(EGFET_PDK)

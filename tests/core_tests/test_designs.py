@@ -1,0 +1,267 @@
+"""Tests for the complete classifier circuits (sequential SVM, parallel
+SVM/MLP baselines) and their evaluation reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_mlp import ParallelMLPDesign
+from repro.core.parallel_svm import ParallelSVMDesign, truncate_model
+from repro.core.report import ClassifierHardwareReport
+from repro.core.sequential_svm import SequentialSVMDesign
+from repro.hw.pdk import MOLEX_30MW
+
+
+class TestSequentialSVMDesign:
+    def test_structure_follows_model(self, sequential_design, quantized_ovr):
+        assert sequential_design.n_classifiers == quantized_ovr.n_classifiers
+        assert sequential_design.n_features == quantized_ovr.n_features
+        assert (
+            sequential_design.cycles_per_classification == quantized_ovr.n_classifiers
+        )
+
+    def test_hardware_contains_all_four_components(self, sequential_design):
+        block = sequential_design.hardware()
+        names = {child.name for child in block.children}
+        # datapath (storage + engine + voter) and the control counter
+        assert any("datapath" in n for n in names)
+        assert any("control" in n or "counter" in n for n in names)
+        assert block.n_cells() > 0
+
+    def test_predictions_match_quantized_model(self, sequential_design, small_split, quantized_ovr):
+        assert np.array_equal(
+            sequential_design.predict(small_split.X_test),
+            quantized_ovr.predict(small_split.X_test),
+        )
+
+    def test_cycle_accurate_simulation_matches_model(self, sequential_design, small_split):
+        assert sequential_design.verify_against_model(small_split.X_test)
+
+    def test_simulate_sample_trace(self, sequential_design, small_split):
+        result = sequential_design.simulate_sample(small_split.X_test[0])
+        assert result.n_cycles == sequential_design.n_classifiers
+        assert 0 <= result.predicted_class < sequential_design.n_classifiers
+
+    def test_evaluation_report_fields(self, sequential_design, small_split):
+        report = sequential_design.evaluate(small_split.X_test, small_split.y_test)
+        assert isinstance(report, ClassifierHardwareReport)
+        assert 0 <= report.accuracy_percent <= 100
+        assert report.area_cm2 > 0
+        assert report.power_mw > 0
+        assert report.frequency_hz > 0
+        assert report.energy_mj > 0
+        assert report.cycles_per_classification == sequential_design.n_classifiers
+        # Latency = cycles / frequency.
+        assert report.latency_ms == pytest.approx(
+            1000.0 * report.cycles_per_classification / report.frequency_hz
+        )
+        # Energy = power * latency.
+        assert report.energy_mj == pytest.approx(
+            report.power_mw * report.latency_ms / 1000.0, rel=1e-6
+        )
+
+    def test_area_breakdown_covers_components(self, sequential_design, small_split):
+        report = sequential_design.evaluate(small_split.X_test, small_split.y_test)
+        assert set(report.area_breakdown_cm2) == {
+            "storage",
+            "compute_engine",
+            "voter",
+            "control",
+        }
+        assert sum(report.area_breakdown_cm2.values()) == pytest.approx(
+            report.area_cm2, rel=0.05
+        )
+
+    def test_small_design_fits_printed_battery(self, sequential_design, small_split):
+        report = sequential_design.evaluate(small_split.X_test, small_split.y_test)
+        assert MOLEX_30MW.can_power(report.power_mw)
+
+    def test_crossbar_storage_variant_is_larger(self, quantized_ovr, small_split):
+        mux_design = SequentialSVMDesign(quantized_ovr, storage_style="mux")
+        rom_design = SequentialSVMDesign(quantized_ovr, storage_style="crossbar")
+        mux_report = mux_design.evaluate(small_split.X_test, small_split.y_test)
+        rom_report = rom_design.evaluate(small_split.X_test, small_split.y_test)
+        assert rom_report.area_cm2 > mux_report.area_cm2
+
+    def test_invalid_storage_style_rejected(self, quantized_ovr):
+        with pytest.raises(ValueError):
+            SequentialSVMDesign(quantized_ovr, storage_style="dram")
+
+    def test_verilog_export(self, sequential_design):
+        verilog = sequential_design.to_verilog()
+        assert "module" in verilog and "endmodule" in verilog
+        assert str(sequential_design.n_classifiers) in verilog
+
+    def test_summary_mentions_key_quantities(self, sequential_design):
+        summary = sequential_design.summary()
+        assert "classifiers" in summary
+        assert "multipliers" in summary
+        assert "cycles" in summary
+
+    def test_ovo_model_accepted_but_verification_rejected(self, quantized_ovo, small_split):
+        design = SequentialSVMDesign(quantized_ovo)
+        assert design.n_classifiers == quantized_ovo.n_classifiers
+        with pytest.raises(ValueError):
+            design.verify_against_model(small_split.X_test)
+
+
+class TestParallelSVMDesign:
+    def test_exact_design_predictions_match_model(self, quantized_ovo, small_split):
+        design = ParallelSVMDesign(quantized_ovo, style="exact")
+        assert np.array_equal(
+            design.predict(small_split.X_test), quantized_ovo.predict(small_split.X_test)
+        )
+
+    def test_single_cycle_classification(self, quantized_ovo, small_split):
+        design = ParallelSVMDesign(quantized_ovo, style="exact")
+        report = design.evaluate(small_split.X_test, small_split.y_test)
+        assert report.cycles_per_classification == 1
+        assert report.latency_ms == pytest.approx(1000.0 / report.frequency_hz)
+
+    def test_parallel_larger_than_sequential(self, quantized_ovo, sequential_design, small_split):
+        parallel_design = ParallelSVMDesign(quantized_ovo, style="exact")
+        seq_report = sequential_design.evaluate(small_split.X_test, small_split.y_test)
+        par_report = parallel_design.evaluate(small_split.X_test, small_split.y_test)
+        assert par_report.area_cm2 > seq_report.area_cm2
+        assert par_report.power_mw > seq_report.power_mw
+
+    def test_sequential_more_energy_efficient(self, quantized_ovo, sequential_design, small_split):
+        """The paper's headline: the sequential design wins on energy."""
+        parallel_design = ParallelSVMDesign(quantized_ovo, style="exact")
+        seq_report = sequential_design.evaluate(small_split.X_test, small_split.y_test)
+        par_report = parallel_design.evaluate(small_split.X_test, small_split.y_test)
+        assert seq_report.energy_mj < par_report.energy_mj
+
+    def test_approximate_design_smaller_than_exact(self, quantized_ovo, small_split):
+        exact = ParallelSVMDesign(quantized_ovo, style="exact")
+        approx = ParallelSVMDesign(quantized_ovo, style="approximate", approx_drop_bits=2)
+        exact_report = exact.evaluate(small_split.X_test, small_split.y_test)
+        approx_report = approx.evaluate(small_split.X_test, small_split.y_test)
+        assert approx_report.area_cm2 < exact_report.area_cm2
+        assert approx_report.power_mw < exact_report.power_mw
+
+    def test_approximate_accuracy_within_reason(self, quantized_ovo, small_split):
+        exact = ParallelSVMDesign(quantized_ovo, style="exact")
+        approx = ParallelSVMDesign(quantized_ovo, style="approximate", approx_drop_bits=1)
+        acc_exact = exact.evaluate(small_split.X_test, small_split.y_test).accuracy_percent
+        acc_approx = approx.evaluate(small_split.X_test, small_split.y_test).accuracy_percent
+        assert acc_approx >= acc_exact - 20.0
+
+    def test_ovr_parallel_design_supported(self, quantized_ovr, small_split):
+        design = ParallelSVMDesign(quantized_ovr, style="exact")
+        report = design.evaluate(small_split.X_test, small_split.y_test)
+        assert report.area_cm2 > 0
+
+    def test_behavioural_simulation_matches_model(self, quantized_ovo, small_split):
+        design = ParallelSVMDesign(quantized_ovo, style="exact")
+        assert np.array_equal(
+            design.simulate_batch(small_split.X_test),
+            quantized_ovo.predict_ids(small_split.X_test),
+        )
+
+    def test_invalid_style_rejected(self, quantized_ovo):
+        with pytest.raises(ValueError):
+            ParallelSVMDesign(quantized_ovo, style="fancy")
+
+    def test_default_model_names_match_citations(self, quantized_ovo, small_split):
+        exact = ParallelSVMDesign(quantized_ovo, style="exact")
+        approx = ParallelSVMDesign(quantized_ovo, style="approximate")
+        assert "[2]" in exact.evaluate(small_split.X_test, small_split.y_test).model
+        assert "[3]" in approx.evaluate(small_split.X_test, small_split.y_test).model
+
+
+class TestTruncateModel:
+    def test_zero_drop_is_identity(self, quantized_ovo):
+        assert truncate_model(quantized_ovo, 0) is quantized_ovo
+
+    def test_truncated_codes_are_multiples(self, quantized_ovo):
+        truncated = truncate_model(quantized_ovo, 2)
+        assert np.all(truncated.weight_codes % 4 == 0)
+        assert np.all(truncated.bias_codes % 4 == 0)
+
+    def test_truncation_error_bounded(self, quantized_ovo):
+        truncated = truncate_model(quantized_ovo, 2)
+        assert np.max(np.abs(truncated.weight_codes - quantized_ovo.weight_codes)) <= 2
+
+    def test_negative_drop_rejected(self, quantized_ovo):
+        with pytest.raises(ValueError):
+            truncate_model(quantized_ovo, -1)
+
+
+class TestParallelMLPDesign:
+    def test_predictions_match_model(self, quantized_mlp, small_split):
+        design = ParallelMLPDesign(quantized_mlp)
+        assert np.array_equal(
+            design.predict(small_split.X_test), quantized_mlp.predict(small_split.X_test)
+        )
+
+    def test_report_fields(self, quantized_mlp, small_split):
+        design = ParallelMLPDesign(quantized_mlp, dataset="small-problem")
+        report = design.evaluate(small_split.X_test, small_split.y_test)
+        assert report.cycles_per_classification == 1
+        assert report.area_cm2 > 0
+        assert report.energy_mj > 0
+        assert "topology" in report.notes
+
+    def test_hardware_scales_with_hidden_width(self, small_split):
+        from repro.ml.mlp import MLPClassifier
+        from repro.ml.quantization import quantize_mlp_classifier
+
+        small_mlp = MLPClassifier(hidden_layer_sizes=(2,), max_epochs=15, random_state=0)
+        large_mlp = MLPClassifier(hidden_layer_sizes=(10,), max_epochs=15, random_state=0)
+        small_mlp.fit(small_split.X_train, small_split.y_train)
+        large_mlp.fit(small_split.X_train, small_split.y_train)
+        small_design = ParallelMLPDesign(quantize_mlp_classifier(small_mlp))
+        large_design = ParallelMLPDesign(quantize_mlp_classifier(large_mlp))
+        assert large_design.hardware().n_cells() > small_design.hardware().n_cells()
+
+    def test_layer_widths_monotone_enough_to_avoid_overflow(self, quantized_mlp, small_split):
+        design = ParallelMLPDesign(quantized_mlp)
+        codes = quantized_mlp.quantize_inputs(small_split.X_test)
+        outputs = quantized_mlp.integer_forward(codes)
+        width = design._layer_output_bits[-1]
+        limit = 1 << (width - 1)
+        assert np.all(outputs < limit) and np.all(outputs >= -limit)
+
+
+class TestReportDataclass:
+    def test_power_density_and_edp(self):
+        report = ClassifierHardwareReport(
+            dataset="d",
+            model="m",
+            accuracy_percent=90.0,
+            area_cm2=10.0,
+            power_mw=20.0,
+            frequency_hz=40.0,
+            latency_ms=100.0,
+            energy_mj=2.0,
+        )
+        assert report.power_density_mw_per_cm2 == pytest.approx(2.0)
+        assert report.energy_delay_product == pytest.approx(200.0)
+        assert report.within_power_budget(30.0)
+        assert not report.within_power_budget(10.0)
+
+    def test_as_row_contains_table1_columns(self):
+        report = ClassifierHardwareReport(
+            dataset="d",
+            model="m",
+            accuracy_percent=90.0,
+            area_cm2=10.0,
+            power_mw=20.0,
+            frequency_hz=40.0,
+            latency_ms=100.0,
+            energy_mj=2.0,
+        )
+        row = report.as_row()
+        assert {"accuracy_percent", "area_cm2", "power_mw", "frequency_hz", "latency_ms", "energy_mj"} <= set(row)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ClassifierHardwareReport(
+                dataset="d", model="m", accuracy_percent=150.0, area_cm2=1.0,
+                power_mw=1.0, frequency_hz=1.0, latency_ms=1.0, energy_mj=1.0,
+            )
+        with pytest.raises(ValueError):
+            ClassifierHardwareReport(
+                dataset="d", model="m", accuracy_percent=50.0, area_cm2=-1.0,
+                power_mw=1.0, frequency_hz=1.0, latency_ms=1.0, energy_mj=1.0,
+            )

@@ -1,0 +1,269 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    available_datasets,
+    canonical_name,
+    clear_cache,
+    dataset_summary,
+    load_dataset,
+    register_dataset,
+)
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    SyntheticSpec,
+    generate_dataset,
+    make_classification,
+)
+from repro.datasets.uci import (
+    make_cardio,
+    make_dermatology,
+    make_pendigits,
+    make_redwine,
+    make_whitewine,
+)
+
+#: Shapes of the real UCI datasets the paper evaluates on.
+EXPECTED_SHAPES = {
+    "cardio": (21, 3),
+    "dermatology": (34, 6),
+    "pendigits": (16, 10),
+    "redwine": (11, 6),
+    "whitewine": (11, 7),
+}
+
+
+class TestSyntheticGenerator:
+    def test_shapes(self):
+        spec = SyntheticSpec(n_samples=100, n_features=8, n_classes=3, seed=0)
+        X, y = make_classification(spec)
+        assert X.shape == (100, 8)
+        assert y.shape == (100,)
+        assert set(np.unique(y)) == {0, 1, 2}
+
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(n_samples=60, n_features=5, n_classes=3, seed=42)
+        X1, y1 = make_classification(spec)
+        X2, y2 = make_classification(spec)
+        assert np.array_equal(X1, X2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_give_different_data(self):
+        a = SyntheticSpec(n_samples=60, n_features=5, n_classes=3, seed=1)
+        b = SyntheticSpec(n_samples=60, n_features=5, n_classes=3, seed=2)
+        Xa, _ = make_classification(a)
+        Xb, _ = make_classification(b)
+        assert not np.array_equal(Xa, Xb)
+
+    def test_every_class_present(self):
+        spec = SyntheticSpec(
+            n_samples=80,
+            n_features=4,
+            n_classes=5,
+            class_priors=(0.9, 0.05, 0.03, 0.01, 0.01),
+            seed=3,
+        )
+        _, y = make_classification(spec)
+        assert set(np.unique(y)) == set(range(5))
+
+    def test_separability_controls_difficulty(self):
+        """Higher separability must make a linear classifier more accurate."""
+        from repro.ml.multiclass import OneVsRestClassifier
+        from repro.ml.preprocessing import prepare_split
+        from repro.ml.svm import LinearSVC
+
+        accuracies = []
+        for sep in (0.6, 4.0):
+            spec = SyntheticSpec(
+                n_samples=400, n_features=8, n_classes=4, separability=sep, seed=5
+            )
+            X, y = make_classification(spec)
+            split = prepare_split(X, y, random_state=0)
+            clf = OneVsRestClassifier(LinearSVC(max_iter=40)).fit(
+                split.X_train, split.y_train
+            )
+            accuracies.append(clf.score(split.X_test, split.y_test))
+        assert accuracies[1] > accuracies[0] + 0.15
+
+    def test_ordinal_datasets_confuse_adjacent_classes(self):
+        spec = SyntheticSpec(
+            n_samples=600,
+            n_features=6,
+            n_classes=5,
+            separability=1.2,
+            ordinal=True,
+            seed=6,
+        )
+        X, y = make_classification(spec)
+        # Project onto the first latent direction via class means: means must
+        # be ordered, the signature of ordinal structure.
+        means = np.array([X[y == c].mean(axis=0) for c in range(5)])
+        # Use the direction between the extreme classes as the ordinal axis.
+        axis = means[-1] - means[0]
+        projections = means @ axis
+        assert np.all(np.diff(projections) > 0)
+
+    def test_label_noise_increases_bayes_error(self):
+        clean_spec = SyntheticSpec(
+            n_samples=300, n_features=6, n_classes=3, separability=4.0, seed=8
+        )
+        noisy_spec = SyntheticSpec(
+            n_samples=300,
+            n_features=6,
+            n_classes=3,
+            separability=4.0,
+            label_noise=0.3,
+            seed=8,
+        )
+        _, y_clean = make_classification(clean_spec)
+        _, y_noisy = make_classification(noisy_spec)
+        assert np.mean(y_clean != y_noisy) > 0.1
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=2, n_features=3, n_classes=5)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=10, n_features=3, n_classes=2, separability=0.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=10, n_features=3, n_classes=2, feature_correlation=1.5)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=10, n_features=3, n_classes=2, label_noise=1.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(
+                n_samples=10, n_features=3, n_classes=2, n_informative=5, noise_features=2
+            )
+        with pytest.raises(ValueError):
+            SyntheticSpec(
+                n_samples=10, n_features=3, n_classes=3, class_priors=(0.5, 0.5)
+            )
+
+    def test_generate_dataset_wrapper(self):
+        spec = SyntheticSpec(n_samples=50, n_features=4, n_classes=2, seed=0)
+        ds = generate_dataset("toy", spec, feature_names=list("abcd"), description="x")
+        assert isinstance(ds, SyntheticDataset)
+        assert ds.n_samples == 50
+        assert ds.feature_names == list("abcd")
+        assert ds.class_distribution().sum() == pytest.approx(1.0)
+
+    def test_generate_dataset_wrong_names_rejected(self):
+        spec = SyntheticSpec(n_samples=50, n_features=4, n_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            generate_dataset("toy", spec, feature_names=["a"])
+
+    @given(
+        st.integers(min_value=30, max_value=200),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generator_respects_requested_shape(self, n_samples, n_features, n_classes):
+        spec = SyntheticSpec(
+            n_samples=n_samples,
+            n_features=n_features,
+            n_classes=n_classes,
+            seed=n_samples,
+        )
+        X, y = make_classification(spec)
+        assert X.shape == (n_samples, n_features)
+        assert len(np.unique(y)) == n_classes
+
+
+class TestUCIStandIns:
+    @pytest.mark.parametrize(
+        "maker,name",
+        [
+            (make_cardio, "cardio"),
+            (make_dermatology, "dermatology"),
+            (make_pendigits, "pendigits"),
+            (make_redwine, "redwine"),
+            (make_whitewine, "whitewine"),
+        ],
+    )
+    def test_shapes_match_uci(self, maker, name):
+        ds = maker(n_samples=300)
+        features, classes = EXPECTED_SHAPES[name]
+        assert ds.n_features == features
+        assert ds.n_classes == classes
+        assert len(ds.feature_names) == features
+
+    def test_cardio_is_imbalanced(self):
+        ds = make_cardio()
+        dist = ds.class_distribution()
+        assert dist.max() > 0.6  # dominant "Normal" class
+
+    def test_wine_datasets_concentrate_on_middle_grades(self):
+        ds = make_redwine()
+        dist = ds.class_distribution()
+        assert dist[2] + dist[3] > 0.6
+
+    def test_pendigits_roughly_balanced(self):
+        ds = make_pendigits(n_samples=2000)
+        dist = ds.class_distribution()
+        assert dist.max() < 0.2
+
+    def test_default_generation_is_deterministic(self):
+        a = make_redwine()
+        b = make_redwine()
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+
+class TestRegistry:
+    def test_all_five_datasets_available(self):
+        assert available_datasets() == [
+            "cardio",
+            "dermatology",
+            "pendigits",
+            "redwine",
+            "whitewine",
+        ]
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("PD", "pendigits"),
+            ("rw", "redwine"),
+            ("WW", "whitewine"),
+            ("Derm.", "dermatology"),
+            ("Cardiotocography", "cardio"),
+        ],
+    )
+    def test_paper_aliases(self, alias, canonical):
+        assert canonical_name(alias) == canonical
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            canonical_name("mnist")
+
+    def test_load_dataset_cached(self):
+        clear_cache()
+        a = load_dataset("redwine", n_samples=200)
+        b = load_dataset("redwine", n_samples=200)
+        assert a is b
+
+    def test_load_with_overrides(self):
+        ds = load_dataset("cardio", seed=99, n_samples=150)
+        assert ds.n_samples == 150
+
+    def test_register_custom_dataset(self):
+        def make_custom():
+            spec = SyntheticSpec(n_samples=40, n_features=3, n_classes=2, seed=0)
+            return generate_dataset("custom-tiny", spec)
+
+        register_dataset("custom-tiny", make_custom)
+        ds = load_dataset("custom-tiny")
+        assert ds.n_features == 3
+
+    def test_register_colliding_alias_rejected(self):
+        with pytest.raises(ValueError):
+            register_dataset("PD", lambda: None)
+
+    def test_dataset_summary_structure(self):
+        rows = dataset_summary()
+        assert len(rows) == 5
+        for row in rows:
+            assert {"name", "n_samples", "n_features", "n_classes"} <= set(row)

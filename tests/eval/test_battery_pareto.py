@@ -1,0 +1,145 @@
+"""Tests for battery feasibility analysis and Pareto utilities."""
+
+import pytest
+
+from repro.core.report import ClassifierHardwareReport
+from repro.eval.battery import (
+    assess_design,
+    assess_many,
+    battery_life_extension,
+    best_battery_for,
+    feasible_designs,
+)
+from repro.eval.pareto import (
+    TradeoffPoint,
+    accuracy_area_points,
+    accuracy_energy_points,
+    dominance_count,
+    hypervolume_2d,
+    is_on_front,
+    pareto_front,
+)
+from repro.hw.pdk import BLUESPARK_10MW, MOLEX_30MW, PRINTED_BATTERIES, ZINERGY_15MW
+
+
+def report(dataset="cardio", model="ours", accuracy=93.0, area=15.0, power=15.0, energy=1.5):
+    return ClassifierHardwareReport(
+        dataset=dataset,
+        model=model,
+        accuracy_percent=accuracy,
+        area_cm2=area,
+        power_mw=power,
+        frequency_hz=38.0,
+        latency_ms=energy / power * 1000.0,
+        energy_mj=energy,
+    )
+
+
+class TestBatteryAssessment:
+    def test_feasible_design(self):
+        assessment = assess_design(report(power=15.0), MOLEX_30MW)
+        assert assessment.feasible
+        assert assessment.lifetime_hours == pytest.approx(90.0 / 15.0)
+        assert assessment.classifications_per_charge > 0
+
+    def test_infeasible_design(self):
+        assessment = assess_design(report(power=57.4), MOLEX_30MW)
+        assert not assessment.feasible
+        assert assessment.lifetime_hours is None
+
+    def test_duty_cycle_extends_lifetime(self):
+        always_on = assess_design(report(power=20.0), MOLEX_30MW, duty_cycle=1.0)
+        intermittent = assess_design(report(power=20.0), MOLEX_30MW, duty_cycle=0.1)
+        assert intermittent.lifetime_hours > always_on.lifetime_hours
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            assess_design(report(), MOLEX_30MW, duty_cycle=0.0)
+
+    def test_assess_many_and_feasible_filter(self):
+        rows = [report(power=10.0), report(dataset="pd", power=90.0)]
+        assessments = assess_many(rows)
+        assert len(assessments) == 2
+        assert len(feasible_designs(rows)) == 1
+
+    def test_battery_life_extension_equals_energy_ratio(self):
+        ours = report(energy=1.0)
+        baseline = report(model="svm[2]", energy=6.5)
+        assert battery_life_extension(ours, baseline) == pytest.approx(6.5)
+
+    def test_best_battery_picks_smallest_sufficient_source(self):
+        low_power = report(power=8.0)
+        mid_power = report(power=14.0)
+        huge_power = report(power=200.0)
+        assert best_battery_for(low_power, PRINTED_BATTERIES) == BLUESPARK_10MW
+        assert best_battery_for(mid_power, PRINTED_BATTERIES) == ZINERGY_15MW
+        assert best_battery_for(huge_power, PRINTED_BATTERIES) is None
+
+    def test_assessment_string(self):
+        text = str(assess_design(report(), MOLEX_30MW))
+        assert "OK" in text or "EXCEEDS" in text
+
+
+class TestPareto:
+    def test_dominance(self):
+        better = TradeoffPoint("a", maximise_value=95.0, minimise_value=1.0)
+        worse = TradeoffPoint("b", maximise_value=90.0, minimise_value=2.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_no_self_dominance(self):
+        p = TradeoffPoint("a", 90.0, 1.0)
+        assert not p.dominates(p)
+
+    def test_incomparable_points(self):
+        fast_inaccurate = TradeoffPoint("a", 80.0, 0.5)
+        slow_accurate = TradeoffPoint("b", 95.0, 3.0)
+        assert not fast_inaccurate.dominates(slow_accurate)
+        assert not slow_accurate.dominates(fast_inaccurate)
+
+    def test_pareto_front_extraction(self):
+        points = [
+            TradeoffPoint("a", 95.0, 1.0),
+            TradeoffPoint("b", 90.0, 2.0),   # dominated by a
+            TradeoffPoint("c", 97.0, 5.0),   # on the front (more accurate)
+            TradeoffPoint("d", 80.0, 0.5),   # on the front (cheaper)
+        ]
+        front = pareto_front(points)
+        labels = {p.label for p in front}
+        assert labels == {"a", "c", "d"}
+        assert is_on_front(points[0], points)
+        assert not is_on_front(points[1], points)
+
+    def test_dominance_count(self):
+        points = [
+            TradeoffPoint("a", 95.0, 1.0),
+            TradeoffPoint("b", 90.0, 2.0),
+            TradeoffPoint("c", 85.0, 3.0),
+        ]
+        assert dominance_count(points[0], points) == 2
+        assert dominance_count(points[2], points) == 0
+
+    def test_points_from_reports(self):
+        rows = [report(accuracy=93.0, energy=1.4), report(model="svm[2]", accuracy=90.0, energy=4.3)]
+        energy_points = accuracy_energy_points(rows)
+        area_points = accuracy_area_points(rows)
+        assert energy_points[0].minimise_value == pytest.approx(1.4)
+        assert area_points[0].minimise_value == pytest.approx(15.0)
+        assert energy_points[0].dominates(energy_points[1])
+
+    def test_hypervolume_monotone_in_front_quality(self):
+        reference = (50.0, 10.0)
+        weak = [TradeoffPoint("w", 80.0, 5.0)]
+        strong = [TradeoffPoint("s", 95.0, 1.0)]
+        assert hypervolume_2d(strong, reference) > hypervolume_2d(weak, reference)
+
+    def test_hypervolume_of_empty_or_out_of_range_front(self):
+        reference = (90.0, 1.0)
+        points = [TradeoffPoint("p", 80.0, 5.0)]  # worse than the reference
+        assert hypervolume_2d(points, reference) == 0.0
+
+    def test_hypervolume_additive_for_disjoint_rectangles(self):
+        reference = (0.0, 10.0)
+        points = [TradeoffPoint("a", 5.0, 6.0), TradeoffPoint("b", 10.0, 8.0)]
+        # a: from x=0..5 (after sweep) ... total = (10-5)*(10-8) + (5-0)*(10-6)
+        assert hypervolume_2d(points, reference) == pytest.approx(5 * 2 + 5 * 4)

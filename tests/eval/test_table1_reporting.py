@@ -1,0 +1,120 @@
+"""Tests for Table I regeneration and report formatting (small configurations)."""
+
+import pytest
+
+from repro.eval.reporting import (
+    breakdown_summary,
+    console_summary,
+    experiments_markdown,
+    markdown_claims,
+    markdown_table1,
+)
+from repro.eval.table1 import (
+    Table1,
+    Table1Entry,
+    format_table1,
+    generate_table1,
+    table1_aggregates,
+)
+
+
+@pytest.fixture(scope="module")
+def small_table(tiny_flow_config_module):
+    """Table I restricted to one small dataset so tests stay fast."""
+    return generate_table1(datasets=["redwine"], config=tiny_flow_config_module)
+
+
+@pytest.fixture(scope="module")
+def tiny_flow_config_module():
+    from repro.core.design_flow import FlowConfig
+
+    return FlowConfig(n_samples=220, svm_max_iter=20, mlp_max_epochs=25, mlp_hidden_neurons=4)
+
+
+class TestGenerateTable1:
+    def test_all_reported_models_present(self, small_table):
+        models = [e.model for e in small_table.entries]
+        assert models == ["svm[2]", "svm[3]", "mlp[4]", "ours"]
+
+    def test_entries_carry_references(self, small_table):
+        for entry in small_table.entries:
+            assert entry.reference is not None
+            assert entry.reference.dataset == entry.dataset
+
+    def test_row_lookup(self, small_table):
+        entry = small_table.row("redwine", "ours")
+        assert entry.measured.model.startswith("Ours")
+        with pytest.raises(KeyError):
+            small_table.row("redwine", "transformer")
+
+    def test_rows_for_model(self, small_table):
+        assert len(small_table.rows_for_model("ours")) == 1
+        assert small_table.datasets() == ["redwine"]
+
+    def test_model_filter(self, tiny_flow_config_module):
+        table = generate_table1(
+            datasets=["redwine"], config=tiny_flow_config_module, models=["ours"]
+        )
+        assert [e.model for e in table.entries] == ["ours"]
+
+    def test_aggregates_structure(self, small_table):
+        aggregates = table1_aggregates(small_table)
+        assert "energy_improvement_average" in aggregates
+        assert "peak_power_mw" in aggregates
+        assert aggregates["energy_improvement_average"] > 0
+
+    def test_aggregates_require_proposed_rows(self):
+        with pytest.raises(ValueError):
+            table1_aggregates(Table1(entries=[]))
+
+    def test_proposed_design_wins_energy_on_redwine(self, small_table):
+        """Core claim, checked end-to-end on a small configuration."""
+        ours = small_table.row("redwine", "ours").measured
+        svm2 = small_table.row("redwine", "svm[2]").measured
+        svm3 = small_table.row("redwine", "svm[3]").measured
+        assert ours.energy_mj < svm2.energy_mj
+        assert ours.energy_mj < svm3.energy_mj
+        assert ours.power_mw < 30.0
+
+
+class TestFormatting:
+    def test_format_table1_contains_all_rows(self, small_table):
+        text = format_table1(small_table)
+        assert "redwine" in text
+        assert "(paper)" in text
+        assert "Energy" in text
+
+    def test_format_without_reference(self, small_table):
+        text = format_table1(small_table, show_reference=False)
+        assert "(paper)" not in text
+
+    def test_markdown_table(self, small_table):
+        md = markdown_table1(small_table)
+        assert md.startswith("| Dataset |")
+        assert "| redwine | ours |" in md
+
+    def test_markdown_claims(self, small_table):
+        aggregates = table1_aggregates(small_table)
+        md = markdown_claims(aggregates)
+        assert "| Claim | Paper | Measured |" in md
+        assert "energy_improvement_average" in md
+
+    def test_experiments_markdown_sections(self, small_table):
+        md = experiments_markdown(small_table)
+        assert "## Table I" in md
+        assert "## Aggregate claims" in md
+
+    def test_console_summary(self, small_table):
+        rows = [e.measured for e in small_table.entries]
+        text = console_summary(rows)
+        assert text.count("\n") == len(rows) - 1
+
+    def test_breakdown_summary(self, small_table):
+        ours = small_table.row("redwine", "ours").measured
+        text = breakdown_summary(ours)
+        assert "storage" in text
+        assert "compute_engine" in text
+
+    def test_breakdown_summary_without_breakdown(self, small_table):
+        baseline = small_table.row("redwine", "svm[2]").measured
+        assert "no breakdown" in breakdown_summary(baseline)

@@ -1,0 +1,187 @@
+"""Tests for timing, power, area and activity analysis."""
+
+import pytest
+
+from repro.hw.activity import (
+    DATAPATH_BASE_ACTIVITY,
+    control_toggles,
+    datapath_toggles,
+    glitch_factor,
+    register_toggles,
+    scale_toggles,
+    storage_toggles,
+)
+from repro.hw.area import TYPICAL_PRINTED_AREA_LIMIT_CM2, AreaAnalyzer, analyze_area
+from repro.hw.netlist import HardwareBlock, series
+from repro.hw.pdk import EGFET_PDK, PDKParameters, build_printed_library
+from repro.hw.power import PowerAnalyzer, analyze_power
+from repro.hw.rtl.adders import adder_tree, ripple_carry_adder
+from repro.hw.rtl.multipliers import array_multiplier
+from repro.hw.timing import TimingAnalyzer, analyze_timing, longest_path_cells
+from repro.hw.rtl.adders import build_ripple_adder_netlist
+
+
+class TestActivityModel:
+    def test_glitch_factor_monotone(self):
+        factors = [glitch_factor(d) for d in range(0, 200, 10)]
+        assert factors == sorted(factors)
+        assert glitch_factor(0) == pytest.approx(1.0)
+
+    def test_glitch_factor_saturates(self):
+        assert glitch_factor(10_000) == glitch_factor(100_000)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            glitch_factor(-1)
+
+    def test_datapath_toggles_scale_with_depth(self):
+        counts = {"FA": 100}
+        shallow = datapath_toggles(counts, depth_levels=5)
+        deep = datapath_toggles(counts, depth_levels=100)
+        assert deep["FA"] > shallow["FA"]
+
+    def test_storage_activity_much_lower_than_datapath(self):
+        counts = {"MUX2": 100}
+        storage = storage_toggles(counts)
+        datapath = datapath_toggles(counts, depth_levels=30)
+        assert storage["MUX2"] < datapath["MUX2"]
+
+    def test_register_and_control_toggles_positive(self):
+        assert register_toggles({"DFF": 4})["DFF"] > 0
+        assert control_toggles({"DFF": 2, "HA": 2})["HA"] > 0
+
+    def test_scale_toggles(self):
+        toggles = {"FA": 10.0}
+        assert scale_toggles(toggles, 0.5)["FA"] == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            scale_toggles(toggles, -1.0)
+
+
+class TestTiming:
+    def test_longer_path_means_lower_frequency(self):
+        fast = ripple_carry_adder(4)
+        slow = series("slow", [ripple_carry_adder(16), ripple_carry_adder(16)])
+        t_fast = analyze_timing(fast)
+        t_slow = analyze_timing(slow)
+        assert t_slow.frequency_hz < t_fast.frequency_hz
+
+    def test_hz_range_frequencies(self):
+        """Printed classifiers operate at Hz-range frequencies (paper setup)."""
+        block = series("datapath", [array_multiplier(4, 6), adder_tree(21, 10)])
+        report = analyze_timing(block)
+        assert 1.0 <= report.frequency_hz <= 200.0
+
+    def test_sequential_designs_pay_register_overhead(self):
+        block = ripple_carry_adder(8)
+        seq = analyze_timing(block, sequential=True)
+        comb = analyze_timing(block, sequential=False)
+        assert seq.clock_period_ms > comb.clock_period_ms
+
+    def test_external_constraint_limits_frequency(self):
+        block = ripple_carry_adder(4)
+        report = TimingAnalyzer().analyze(block, min_period_ms=1000.0)
+        assert report.frequency_hz == pytest.approx(1.0)
+        assert report.limited_by == "external-constraint"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            TimingAnalyzer().analyze(HardwareBlock("empty"), sequential=False)
+
+    def test_area_dependent_wire_delay_slows_large_designs(self):
+        small = ripple_carry_adder(16)
+        # Same critical path, but duplicated many times in parallel: much more
+        # area, so the printed-wire RC penalty must reduce the frequency.
+        large = small.scaled(400, name="large")
+        large.path = dict(small.path)
+        f_small = analyze_timing(small).frequency_hz
+        f_large = analyze_timing(HardwareBlock("large", counts=large.counts, path=small.path, toggles=large.toggles)).frequency_hz
+        assert f_large < f_small
+
+    def test_longest_path_extraction_on_netlist(self):
+        netlist = build_ripple_adder_netlist(6)
+        path = longest_path_cells(netlist)
+        # The worst path must ripple through (almost) every adder position.
+        assert sum(path.values()) >= 5
+
+    def test_report_string_contains_frequency(self):
+        report = analyze_timing(ripple_carry_adder(8))
+        assert "Hz" in str(report)
+
+
+class TestPower:
+    def test_power_breakdown_positive(self):
+        block = array_multiplier(4, 6)
+        report = analyze_power(block, frequency_hz=30.0)
+        assert report.static_mw > 0
+        assert report.dynamic_mw > 0
+        assert report.total_mw == pytest.approx(report.static_mw + report.dynamic_mw)
+
+    def test_dynamic_power_scales_with_frequency(self):
+        block = array_multiplier(4, 6)
+        slow = analyze_power(block, frequency_hz=10.0)
+        fast = analyze_power(block, frequency_hz=40.0)
+        assert fast.dynamic_mw == pytest.approx(4 * slow.dynamic_mw)
+        assert fast.static_mw == pytest.approx(slow.static_mw)
+
+    def test_latency_and_energy(self):
+        block = array_multiplier(4, 6)
+        report = analyze_power(block, frequency_hz=20.0, cycles_per_classification=5)
+        assert report.latency_ms == pytest.approx(250.0)
+        assert report.energy_per_classification_mj == pytest.approx(
+            report.total_mw * 0.25
+        )
+
+    def test_duty_cycle_reduces_dynamic_power(self):
+        block = array_multiplier(4, 6)
+        always_on = PowerAnalyzer().analyze(block, 30.0, duty_cycle=1.0)
+        sometimes = PowerAnalyzer().analyze(block, 30.0, duty_cycle=0.1)
+        assert sometimes.dynamic_mw < always_on.dynamic_mw
+
+    def test_invalid_arguments_rejected(self):
+        block = array_multiplier(4, 6)
+        with pytest.raises(ValueError):
+            analyze_power(block, frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            analyze_power(block, frequency_hz=10.0, cycles_per_classification=0)
+        with pytest.raises(ValueError):
+            PowerAnalyzer().analyze(block, 10.0, duty_cycle=0.0)
+
+    def test_bigger_block_burns_more_static_power(self):
+        small = array_multiplier(4, 4)
+        big = array_multiplier(8, 8)
+        assert (
+            analyze_power(big, 30.0).static_mw > analyze_power(small, 30.0).static_mw
+        )
+
+
+class TestArea:
+    def test_area_report_totals(self):
+        storage = HardwareBlock("storage", counts={"MUX2": 50}, toggles={})
+        engine = array_multiplier(4, 6, name="engine")
+        design = series("design", [storage, engine])
+        report = analyze_area(design)
+        assert report.total_cm2 == pytest.approx(
+            storage.area_cm2(EGFET_PDK) + engine.area_cm2(EGFET_PDK)
+        )
+        assert set(report.breakdown_cm2) == {"storage", "engine"}
+        assert report.n_cells == design.n_cells()
+
+    def test_within_typical_printed_limit(self):
+        small = array_multiplier(4, 6)
+        report = analyze_area(small)
+        assert report.within_limit
+        assert 0 < report.utilization < 1
+
+    def test_custom_limit(self):
+        block = array_multiplier(8, 8)
+        report = AreaAnalyzer(limit_cm2=0.001).analyze(block)
+        assert not report.within_limit
+
+    def test_default_limit_value(self):
+        assert TYPICAL_PRINTED_AREA_LIMIT_CM2 == pytest.approx(100.0)
+
+    def test_custom_library_scales_area(self):
+        params = PDKParameters(nand2_area_cm2=0.006)
+        big_lib = build_printed_library(params)
+        block = array_multiplier(4, 6)
+        assert AreaAnalyzer(library=big_lib).analyze(block).total_cm2 > analyze_area(block).total_cm2

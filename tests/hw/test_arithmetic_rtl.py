@@ -1,0 +1,204 @@
+"""Tests for the arithmetic RTL generators (adders, multipliers) including
+gate-level verification against integer arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.rtl.adders import (
+    adder_tree,
+    adder_tree_output_width,
+    build_ripple_adder_netlist,
+    ripple_carry_adder,
+    ripple_carry_subtractor,
+    simulate_ripple_adder,
+)
+from repro.hw.rtl.multipliers import (
+    array_multiplier,
+    array_multiplier_output_bits,
+    build_array_multiplier_netlist,
+    constant_multiplier,
+    constant_multiplier_output_bits,
+    csd_digits,
+    csd_nonzero_count,
+    csd_value,
+    simulate_array_multiplier,
+)
+
+
+class TestCSD:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, 3, 7, -7, 15, 23, 100, -100, 255, -128])
+    def test_csd_round_trip(self, value):
+        assert csd_value(csd_digits(value)) == value
+
+    def test_no_adjacent_nonzero_digits(self):
+        for value in range(-200, 201):
+            digits = csd_digits(value)
+            for lo, hi in zip(digits, digits[1:]):
+                assert not (lo != 0 and hi != 0), f"adjacent digits for {value}"
+
+    def test_nonzero_count_at_most_binary_weight(self):
+        for value in range(1, 300):
+            assert csd_nonzero_count(value) <= bin(value).count("1")
+
+    def test_known_values(self):
+        # 7 = 8 - 1 -> two non-zero digits instead of three.
+        assert csd_nonzero_count(7) == 2
+        assert csd_nonzero_count(0) == 0
+        assert csd_nonzero_count(8) == 1
+
+    @given(st.integers(min_value=-(2 ** 12), max_value=2 ** 12))
+    @settings(max_examples=200, deadline=None)
+    def test_csd_round_trip_property(self, value):
+        assert csd_value(csd_digits(value)) == value
+
+
+class TestAdderBlocks:
+    def test_ripple_adder_counts(self):
+        block = ripple_carry_adder(8)
+        assert block.counts["FA"] == 7
+        assert block.counts["HA"] == 1
+        assert block.logic_depth() == 8
+
+    def test_single_bit_adder(self):
+        block = ripple_carry_adder(1)
+        assert block.counts["HA"] == 1
+        assert "FA" not in block.counts
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+    def test_subtractor_has_inverters(self):
+        block = ripple_carry_subtractor(6)
+        assert block.counts["INV"] == 6
+        assert block.counts["FA"] == 6
+
+    def test_adder_tree_adder_count(self):
+        # Summing n operands always needs exactly n-1 two-operand adders.
+        for n in (2, 3, 5, 8, 13):
+            block = adder_tree(n, 6)
+            assert block.counts["HA"] == n - 1
+
+    def test_adder_tree_single_operand_is_free(self):
+        block = adder_tree(1, 8)
+        assert block.n_cells() == 0
+
+    def test_adder_tree_depth_grows_logarithmically(self):
+        deep = adder_tree(32, 8).logic_depth()
+        shallow = adder_tree(4, 8).logic_depth()
+        assert deep > shallow
+        assert deep < 32  # far less than a linear chain
+
+    def test_output_width(self):
+        assert adder_tree_output_width(1, 8) == 8
+        assert adder_tree_output_width(2, 8) == 9
+        assert adder_tree_output_width(21, 10) == 15
+
+    def test_invalid_tree_rejected(self):
+        with pytest.raises(ValueError):
+            adder_tree(0, 4)
+        with pytest.raises(ValueError):
+            adder_tree_output_width(4, 0)
+
+
+class TestGateLevelAdder:
+    @pytest.mark.parametrize("width", [1, 2, 4, 6])
+    def test_exhaustive_small_widths(self, width):
+        netlist = build_ripple_adder_netlist(width)
+        limit = 1 << width
+        step = max(1, limit // 8)
+        for a in range(0, limit, step):
+            for b in range(0, limit, step):
+                total, carry = simulate_ripple_adder(netlist, a, b, width)
+                assert total + (carry << width) == a + b
+
+    def test_carry_in_variant(self):
+        netlist = build_ripple_adder_netlist(4, with_carry_in=True)
+        total, carry = simulate_ripple_adder(netlist, 9, 7, 4, cin=1)
+        assert total + (carry << 4) == 17
+
+    def test_netlist_cell_count_matches_block_model(self):
+        width = 6
+        netlist = build_ripple_adder_netlist(width)
+        block = ripple_carry_adder(width)
+        assert netlist.cell_counts()["FA"] == block.counts["FA"]
+        assert netlist.cell_counts()["HA"] == block.counts["HA"]
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_random_additions_8bit(self, a, b):
+        netlist = build_ripple_adder_netlist(8)
+        total, carry = simulate_ripple_adder(netlist, a, b, 8)
+        assert total + (carry << 8) == a + b
+
+
+class TestArrayMultiplier:
+    def test_counts(self):
+        block = array_multiplier(4, 6, signed=False)
+        assert block.counts["AND2"] == 24
+        assert block.counts["FA"] == 5 * 3
+        assert block.counts["HA"] == 5
+
+    def test_signed_variant_is_larger(self):
+        unsigned = array_multiplier(4, 6, signed=False)
+        signed = array_multiplier(4, 6, signed=True)
+        assert signed.n_cells() > unsigned.n_cells()
+
+    def test_output_bits(self):
+        assert array_multiplier_output_bits(4, 6) == 10
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            array_multiplier(0, 4)
+        with pytest.raises(ValueError):
+            array_multiplier_output_bits(4, 0)
+
+    @pytest.mark.parametrize("a_bits,b_bits", [(2, 2), (3, 3), (4, 3)])
+    def test_gate_level_exhaustive(self, a_bits, b_bits):
+        netlist = build_array_multiplier_netlist(a_bits, b_bits)
+        for a in range(1 << a_bits):
+            for b in range(1 << b_bits):
+                assert simulate_array_multiplier(netlist, a, b, a_bits, b_bits) == a * b
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_gate_level_random_4x6(self, a, b):
+        netlist = build_array_multiplier_netlist(4, 6)
+        assert simulate_array_multiplier(netlist, a, b, 4, 6) == a * b
+
+
+class TestConstantMultiplier:
+    def test_zero_constant_is_free(self):
+        assert constant_multiplier(0, 4).n_cells() == 0
+
+    def test_power_of_two_is_free(self):
+        assert constant_multiplier(8, 4).n_cells() == 0
+        assert constant_multiplier(1, 4).n_cells() == 0
+
+    def test_negative_power_of_two_needs_negation_only(self):
+        block = constant_multiplier(-4, 4)
+        assert block.n_cells() > 0
+        assert "FA" not in block.counts  # negation uses INV + HA, no full adders
+
+    def test_general_constant_cheaper_than_array_multiplier(self):
+        const = constant_multiplier(23, 4)
+        generic = array_multiplier(4, 6, signed=True)
+        assert const.n_cells() < generic.n_cells()
+
+    def test_cost_grows_with_csd_weight(self):
+        sparse = constant_multiplier(16, 6)   # one CSD digit
+        medium = constant_multiplier(18, 6)   # two CSD digits
+        dense = constant_multiplier(27, 6)    # three CSD digits (32 - 4 - 1)
+        assert sparse.n_cells() <= medium.n_cells() <= dense.n_cells()
+
+    def test_output_bits(self):
+        assert constant_multiplier_output_bits(0, 4) == 1
+        assert constant_multiplier_output_bits(15, 4) == 8
+        assert constant_multiplier_output_bits(-15, 4) == 9
+
+    def test_symmetric_cost_for_negated_constant(self):
+        pos = constant_multiplier(21, 5).n_cells()
+        neg = constant_multiplier(-21, 5).n_cells()
+        assert abs(pos - neg) <= 10

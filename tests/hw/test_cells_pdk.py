@@ -1,0 +1,156 @@
+"""Tests for the cell library and the printed PDK."""
+
+import pytest
+
+from repro.hw.cells import GENERIC_CELL_SET, CellLibrary, CellType
+from repro.hw.pdk import (
+    DEFAULT_PDK_PARAMETERS,
+    EGFET_PDK,
+    MOLEX_30MW,
+    PRINTED_BATTERIES,
+    PDKParameters,
+    PrintedBattery,
+    build_printed_library,
+    gate_equivalents,
+)
+
+
+class TestCellType:
+    def test_evaluate_inverter(self):
+        inv = EGFET_PDK["INV"]
+        assert inv.evaluate([0]) == (1,)
+        assert inv.evaluate([1]) == (0,)
+
+    def test_evaluate_full_adder_truth_table(self):
+        fa = EGFET_PDK["FA"]
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, carry = fa.evaluate([a, b, c])
+                    assert s + 2 * carry == a + b + c
+
+    def test_evaluate_half_adder(self):
+        ha = EGFET_PDK["HA"]
+        for a in (0, 1):
+            for b in (0, 1):
+                s, carry = ha.evaluate([a, b])
+                assert s + 2 * carry == a + b
+
+    def test_evaluate_mux(self):
+        mux = EGFET_PDK["MUX2"]
+        assert mux.evaluate([1, 0, 0]) == (1,)
+        assert mux.evaluate([1, 0, 1]) == (0,)
+
+    def test_wrong_input_count_rejected(self):
+        with pytest.raises(ValueError):
+            EGFET_PDK["NAND2"].evaluate([1])
+
+    def test_invalid_cell_definition_rejected(self):
+        with pytest.raises(ValueError):
+            CellType(
+                name="BAD",
+                n_inputs=1,
+                n_outputs=1,
+                area_cm2=-1.0,
+                static_power_mw=0.0,
+                switch_energy_mj=0.0,
+                delay_ms=0.0,
+            )
+
+
+class TestCellLibrary:
+    def test_all_generic_cells_present(self):
+        for name in GENERIC_CELL_SET:
+            assert name in EGFET_PDK
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            EGFET_PDK["NAND17"]
+
+    def test_duplicate_cell_rejected(self):
+        cell = EGFET_PDK["INV"]
+        with pytest.raises(ValueError):
+            CellLibrary("dup", [cell, cell])
+
+    def test_area_of_counts(self):
+        area = EGFET_PDK.area_of({"NAND2": 10, "FA": 2})
+        expected = 10 * EGFET_PDK["NAND2"].area_cm2 + 2 * EGFET_PDK["FA"].area_cm2
+        assert area == pytest.approx(expected)
+
+    def test_static_power_clock_overhead_applies_to_sequential_cells(self):
+        p_dff = EGFET_PDK.static_power_of({"DFF": 1})
+        assert p_dff > EGFET_PDK["DFF"].static_power_mw
+
+    def test_delay_of_path(self):
+        delay = EGFET_PDK.delay_of_path({"FA": 3, "MUX2": 1})
+        raw = 3 * EGFET_PDK["FA"].delay_ms + EGFET_PDK["MUX2"].delay_ms
+        assert delay >= raw
+
+    def test_switch_energy_of(self):
+        energy = EGFET_PDK.switch_energy_of({"FA": 2.5})
+        assert energy == pytest.approx(2.5 * EGFET_PDK["FA"].switch_energy_mj)
+
+
+class TestPrintedPDK:
+    def test_printed_scale_characteristics(self):
+        """Printed gates are cm^2-fraction sized, mW-fraction powered, ms slow."""
+        nand = EGFET_PDK["NAND2"]
+        assert 1e-4 < nand.area_cm2 < 0.1
+        assert 1e-4 < nand.static_power_mw < 0.1
+        assert 0.01 < nand.delay_ms < 5.0
+
+    def test_adc_is_by_far_the_largest_cell(self):
+        adc_area = EGFET_PDK["ADC1"].area_cm2
+        others = [EGFET_PDK[name].area_cm2 for name in GENERIC_CELL_SET if name != "ADC1"]
+        assert adc_area > 3 * max(others)
+
+    def test_full_adder_larger_than_nand(self):
+        assert EGFET_PDK["FA"].area_cm2 > 4 * EGFET_PDK["NAND2"].area_cm2
+
+    def test_custom_parameters_scale_library(self):
+        params = PDKParameters(nand2_area_cm2=DEFAULT_PDK_PARAMETERS.nand2_area_cm2 * 2)
+        lib = build_printed_library(params, name="EGFET-2x")
+        assert lib["NAND2"].area_cm2 == pytest.approx(2 * EGFET_PDK["NAND2"].area_cm2)
+
+    def test_gate_equivalents(self):
+        assert gate_equivalents("NAND2") == 1.0
+        assert gate_equivalents("FA") > 1.0
+        with pytest.raises(KeyError):
+            gate_equivalents("XYZ")
+
+
+class TestPrintedBatteries:
+    def test_molex_budget_is_30mw(self):
+        assert MOLEX_30MW.max_power_mw == pytest.approx(30.0)
+
+    def test_can_power(self):
+        assert MOLEX_30MW.can_power(22.9)
+        assert not MOLEX_30MW.can_power(57.4)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            MOLEX_30MW.can_power(-1.0)
+
+    def test_lifetime(self):
+        battery = PrintedBattery("test", max_power_mw=30.0, capacity_mwh=90.0)
+        assert battery.lifetime_hours(15.0) == pytest.approx(6.0)
+        assert battery.lifetime_hours(0.0) == float("inf")
+
+    def test_lifetime_exceeding_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MOLEX_30MW.lifetime_hours(100.0)
+
+    def test_harvester_has_unbounded_lifetime(self):
+        harvester = PrintedBattery("solar", max_power_mw=5.0, capacity_mwh=None)
+        assert harvester.lifetime_hours(3.0) == float("inf")
+        assert harvester.classifications_per_charge(1.0) == float("inf")
+
+    def test_classifications_per_charge(self):
+        battery = PrintedBattery("test", max_power_mw=30.0, capacity_mwh=1.0)
+        # 1 mWh = 3600 mJ, at 2 mJ per classification -> 1800 classifications.
+        assert battery.classifications_per_charge(2.0) == pytest.approx(1800.0)
+        with pytest.raises(ValueError):
+            battery.classifications_per_charge(0.0)
+
+    def test_registry_contains_molex(self):
+        assert MOLEX_30MW in PRINTED_BATTERIES

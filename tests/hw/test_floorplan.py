@@ -1,0 +1,107 @@
+"""Tests for printed floorplanning, yield and unit-cost models."""
+
+import math
+
+import pytest
+
+from repro.hw.floorplan import (
+    DEFAULT_MAX_WIDTH_CM,
+    Floorplanner,
+    compare_manufacturability,
+    cost_per_working_unit,
+    fabrication_yield,
+)
+from repro.hw.netlist import HardwareBlock, series
+from repro.hw.pdk import EGFET_PDK
+from repro.hw.rtl.multipliers import array_multiplier
+
+
+def make_design():
+    storage = HardwareBlock("storage", counts={"MUX2": 400}, toggles={})
+    engine = array_multiplier(4, 6, name="engine").scaled(20, name="engine")
+    voter = HardwareBlock("voter", counts={"DFF": 20, "XNOR2": 16}, toggles={})
+    return series("design", [storage, engine, voter])
+
+
+class TestFloorplanner:
+    def test_places_every_block(self):
+        plan = Floorplanner().floorplan(make_design())
+        names = {p.name for p in plan.placed}
+        assert {"storage", "engine", "voter"} <= names
+
+    def test_bounding_box_covers_cell_area(self):
+        plan = Floorplanner().floorplan(make_design())
+        assert plan.bounding_area_cm2 >= plan.cell_area_cm2
+        assert 0.0 < plan.utilization <= 1.0
+
+    def test_respects_web_width(self):
+        plan = Floorplanner(max_width_cm=5.0).floorplan(make_design())
+        assert plan.width_cm <= 5.0 + 1e-9
+        for block in plan.placed:
+            assert block.width_cm <= 5.0 + 1e-9
+
+    def test_narrower_web_gives_taller_floorplan(self):
+        wide = Floorplanner(max_width_cm=DEFAULT_MAX_WIDTH_CM).floorplan(make_design())
+        narrow = Floorplanner(max_width_cm=3.0).floorplan(make_design())
+        assert narrow.height_cm >= wide.height_cm
+
+    def test_fits_check(self):
+        plan = Floorplanner(max_width_cm=8.0).floorplan(make_design())
+        assert plan.fits(100.0, 100.0)
+        assert not plan.fits(0.1, 0.1)
+        # Rotation is allowed.
+        assert plan.fits(plan.height_cm, plan.width_cm)
+
+    def test_wire_length_positive_for_multi_block_designs(self):
+        plan = Floorplanner().floorplan(make_design())
+        assert plan.estimated_wire_length_cm() > 0.0
+
+    def test_empty_design(self):
+        plan = Floorplanner().floorplan(HardwareBlock("empty"))
+        assert plan.bounding_area_cm2 == 0.0
+        assert plan.estimated_wire_length_cm() == 0.0
+
+    def test_summary_mentions_blocks(self):
+        plan = Floorplanner().floorplan(make_design())
+        text = plan.summary()
+        assert "storage" in text and "engine" in text
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplanner(max_width_cm=0.0)
+
+    def test_sequential_design_floorplan(self, sequential_design):
+        plan = Floorplanner().floorplan(sequential_design.hardware())
+        assert plan.bounding_area_cm2 >= sequential_design.hardware().area_cm2(EGFET_PDK)
+
+
+class TestYieldAndCost:
+    def test_yield_decreases_with_area(self):
+        areas = [1.0, 10.0, 50.0, 150.0]
+        yields = [fabrication_yield(a) for a in areas]
+        assert yields == sorted(yields, reverse=True)
+        assert all(0.0 < y <= 1.0 for y in yields)
+
+    def test_zero_area_yields_one(self):
+        assert fabrication_yield(0.0) == 1.0
+
+    def test_poisson_below_murphy(self):
+        # Murphy's clustered-defect model is always more optimistic.
+        assert fabrication_yield(50.0, model="poisson") <= fabrication_yield(50.0, model="murphy")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fabrication_yield(1.0, model="weibull")
+        with pytest.raises(ValueError):
+            fabrication_yield(-1.0)
+
+    def test_cost_per_working_unit_superlinear_in_area(self):
+        small = cost_per_working_unit(10.0)
+        large = cost_per_working_unit(100.0)
+        assert large > 10 * small * 0.99  # at least ~linear, in practice worse
+
+    def test_compare_manufacturability(self):
+        table = compare_manufacturability({"ours": 13.0, "svm2": 244.0})
+        assert table["ours"]["yield"] > table["svm2"]["yield"]
+        assert table["ours"]["cost_per_working_unit"] < table["svm2"]["cost_per_working_unit"]
+        assert math.isclose(table["ours"]["area_cm2"], 13.0)

@@ -1,0 +1,183 @@
+"""Tests for MUX storage, comparators, registers and counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.rtl.comparator import (
+    argmax_comparator_tree,
+    build_comparator_netlist,
+    magnitude_comparator,
+    simulate_comparator,
+)
+from repro.hw.rtl.mux import (
+    build_mux_tree_netlist,
+    constant_mux_storage,
+    mux_tree,
+    storage_table_bits,
+)
+from repro.hw.pdk import EGFET_PDK
+from repro.hw.rtl.registers import binary_counter, counter_bits, register_bank
+from repro.hw.simulate import simulate_combinational
+
+
+class TestMuxTree:
+    def test_generic_mux_cell_count(self):
+        block = mux_tree(8, width=4)
+        assert block.counts["MUX2"] == 7 * 4
+        assert block.logic_depth() == 3
+
+    def test_single_input_is_wire(self):
+        assert mux_tree(1, 4).n_cells() == 0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            mux_tree(0, 1)
+
+    @pytest.mark.parametrize("n_inputs", [2, 3, 5, 8])
+    def test_gate_level_mux_selects_correct_input(self, n_inputs):
+        netlist = build_mux_tree_netlist(n_inputs)
+        n_sel = max(1, int(np.ceil(np.log2(n_inputs))))
+        rng = np.random.default_rng(n_inputs)
+        data = rng.integers(0, 2, size=n_inputs)
+        for select in range(n_inputs):
+            values = {f"d[{i}]": int(data[i]) for i in range(n_inputs)}
+            for s in range(n_sel):
+                values[f"sel[{s}]"] = (select >> s) & 1
+            out = simulate_combinational(netlist, values)
+            assert out[netlist.outputs[0]] == data[select]
+
+
+class TestConstantMuxStorage:
+    def test_identical_words_cost_nothing(self):
+        table = np.tile(np.array([[3, -2, 5]]), (4, 1))
+        block = constant_mux_storage(table, [4, 4, 4])
+        assert block.n_cells() == 0
+
+    def test_distinct_words_cost_something(self, quantized_ovr):
+        block = constant_mux_storage(
+            quantized_ovr.stored_coefficients(),
+            [quantized_ovr.weight_format.total_bits] * quantized_ovr.n_features
+            + [quantized_ovr.accumulator_bits],
+        )
+        assert block.n_cells() > 0
+
+    def test_cost_below_generic_mux(self):
+        rng = np.random.default_rng(0)
+        table = rng.integers(-7, 8, size=(4, 6))
+        bits = [4] * 6
+        bespoke = constant_mux_storage(table, bits)
+        generic = mux_tree(4, width=24)
+        assert bespoke.n_cells() <= generic.n_cells()
+
+    def test_more_words_cost_more(self):
+        rng = np.random.default_rng(1)
+        small = constant_mux_storage(rng.integers(-7, 8, size=(3, 8)), [4] * 8)
+        large = constant_mux_storage(rng.integers(-7, 8, size=(10, 8)), [4] * 8)
+        assert large.n_cells() > small.n_cells()
+
+    def test_storage_table_bits_round_trip(self):
+        table = np.array([[3, -2], [-8, 7]])
+        bits = storage_table_bits(table, [5, 4])
+        assert bits.shape == (2, 9)
+        # Decode back: word 0, column 0 (5 bits, LSB first).
+        word0_col0 = sum(int(bits[0, i]) << i for i in range(5))
+        assert word0_col0 == 3
+        word1_col0 = sum(int(bits[1, i]) << i for i in range(5))
+        assert word1_col0 - (1 << 5) == -8
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError):
+            storage_table_bits(np.array([[100]]), [4])
+
+    def test_wrong_bits_length_rejected(self):
+        with pytest.raises(ValueError):
+            constant_mux_storage(np.zeros((2, 3), dtype=int), [4, 4])
+
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_never_exceeds_one_generic_mux_tree(self, n_words, n_cols):
+        rng = np.random.default_rng(n_words * 31 + n_cols)
+        table = rng.integers(-7, 8, size=(n_words, n_cols))
+        bespoke = constant_mux_storage(table, [4] * n_cols)
+        generic = mux_tree(n_words, width=4 * n_cols)
+        # The collapsed bespoke storage must not cost more printed area than a
+        # generic MUX tree of the same geometry (plus a tiny folding margin —
+        # the collapse trades some MUX2 cells for cheaper AND/OR/INV cells).
+        assert bespoke.area_cm2(EGFET_PDK) <= 1.1 * generic.area_cm2(EGFET_PDK) + 0.01
+
+
+class TestComparators:
+    def test_magnitude_comparator_counts(self):
+        block = magnitude_comparator(8, signed=False)
+        assert block.counts["XNOR2"] == 8
+        assert block.counts["AND2"] == 8
+
+    def test_signed_comparator_has_sign_handling(self):
+        signed = magnitude_comparator(8, signed=True)
+        unsigned = magnitude_comparator(8, signed=False)
+        assert signed.n_cells() > unsigned.n_cells()
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            magnitude_comparator(0)
+
+    def test_argmax_tree_scales_with_classifiers(self):
+        small = argmax_comparator_tree(3, 10, 2)
+        large = argmax_comparator_tree(10, 10, 4)
+        assert large.n_cells() > small.n_cells()
+
+    def test_argmax_tree_single_value_free(self):
+        assert argmax_comparator_tree(1, 10, 1).n_cells() == 0
+
+    @pytest.mark.parametrize("width", [2, 3, 5])
+    def test_gate_level_comparator_exhaustive(self, width):
+        netlist = build_comparator_netlist(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                assert simulate_comparator(netlist, a, b, width) == (1 if a > b else 0)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_gate_level_comparator_random_8bit(self, a, b):
+        netlist = build_comparator_netlist(8)
+        assert simulate_comparator(netlist, a, b, 8) == (1 if a > b else 0)
+
+
+class TestRegistersAndCounters:
+    def test_register_bank_counts(self):
+        block = register_bank(10)
+        assert block.counts["DFF"] == 10
+        assert block.counts["MUX2"] == 10
+
+    def test_register_without_enable(self):
+        block = register_bank(10, with_enable=False)
+        assert "MUX2" not in block.counts
+
+    def test_counter_bits(self):
+        assert counter_bits(1) == 1
+        assert counter_bits(2) == 1
+        assert counter_bits(3) == 2
+        assert counter_bits(6) == 3
+        assert counter_bits(10) == 4
+
+    def test_counter_hardware_matches_bits(self):
+        block = binary_counter(10)
+        assert block.counts["DFF"] == 4
+
+    def test_counter_is_tiny_compared_to_datapath(self):
+        """The paper's control is a log2(n)-bit counter — a negligible block."""
+        from repro.hw.rtl.multipliers import array_multiplier
+
+        counter = binary_counter(10)
+        one_multiplier = array_multiplier(4, 6)
+        assert counter.n_cells() < one_multiplier.n_cells()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            register_bank(0)
+        with pytest.raises(ValueError):
+            binary_counter(0)
+        with pytest.raises(ValueError):
+            counter_bits(0)

@@ -1,0 +1,162 @@
+"""Tests for HardwareBlock composition and explicit GateNetlists."""
+
+import pytest
+
+from repro.hw.netlist import (
+    GateNetlist,
+    HardwareBlock,
+    empty_block,
+    parallel,
+    series,
+)
+from repro.hw.pdk import EGFET_PDK
+
+
+def block(name, fa=0, mux=0, dff=0, path_fa=0):
+    counts = {}
+    if fa:
+        counts["FA"] = fa
+    if mux:
+        counts["MUX2"] = mux
+    if dff:
+        counts["DFF"] = dff
+    path = {"FA": path_fa} if path_fa else {}
+    toggles = {cell: 0.5 * n for cell, n in counts.items()}
+    return HardwareBlock(name, counts=counts, path=path, toggles=toggles)
+
+
+class TestHardwareBlock:
+    def test_cell_count_and_area(self):
+        b = block("b", fa=10, mux=5)
+        assert b.n_cells() == 15
+        expected_area = 10 * EGFET_PDK["FA"].area_cm2 + 5 * EGFET_PDK["MUX2"].area_cm2
+        assert b.area_cm2(EGFET_PDK) == pytest.approx(expected_area)
+
+    def test_static_power_positive(self):
+        b = block("b", fa=4, dff=2)
+        assert b.static_power_mw(EGFET_PDK) > 0
+
+    def test_series_composition_adds_paths(self):
+        a = block("a", fa=3, path_fa=3)
+        b = block("b", fa=5, path_fa=5)
+        combined = series("ab", [a, b])
+        assert combined.n_cells() == 8
+        assert combined.logic_depth() == 8
+        assert combined.critical_path_delay_ms(EGFET_PDK) == pytest.approx(
+            a.critical_path_delay_ms(EGFET_PDK) + b.critical_path_delay_ms(EGFET_PDK),
+            rel=1e-6,
+        )
+
+    def test_parallel_composition_takes_worst_path(self):
+        a = block("a", fa=3, path_fa=3)
+        b = block("b", fa=9, path_fa=9)
+        combined = parallel("ab", [a, b])
+        assert combined.n_cells() == 12
+        assert combined.logic_depth() == 9
+
+    def test_toggles_accumulate(self):
+        a = block("a", fa=4)
+        b = block("b", fa=6)
+        combined = parallel("ab", [a, b])
+        assert combined.toggles["FA"] == pytest.approx(5.0)
+
+    def test_scaled_replicates_counts_not_path(self):
+        a = block("a", fa=4, path_fa=4)
+        scaled = a.scaled(5)
+        assert scaled.n_cells() == 20
+        assert scaled.logic_depth() == 4
+        assert scaled.toggles["FA"] == pytest.approx(4 * 0.5 * 5)
+
+    def test_scaled_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            block("a", fa=1).scaled(0)
+
+    def test_empty_block_is_neutral(self):
+        a = block("a", fa=3, path_fa=3)
+        combined = series("x", [empty_block(), a])
+        assert combined.n_cells() == a.n_cells()
+        assert combined.logic_depth() == a.logic_depth()
+
+    def test_children_recorded_and_reported(self):
+        a = block("storage", mux=4)
+        b = block("engine", fa=8, path_fa=8)
+        combined = series("design", [a, b])
+        assert [child.name for child in combined.children] == ["storage", "engine"]
+        report = combined.hierarchy_report(EGFET_PDK)
+        assert "storage" in report and "engine" in report
+
+    def test_cell_report_sorted(self):
+        b = block("b", fa=2, mux=1)
+        assert list(b.cell_report().keys()) == sorted(b.cell_report().keys())
+
+
+class TestGateNetlist:
+    def test_build_and_count(self):
+        net = GateNetlist("toy")
+        a, b = net.add_input("a"), net.add_input("b")
+        (y,) = net.add_gate("AND2", [a, b])
+        net.mark_output(y)
+        assert net.n_gates() == 1
+        assert net.cell_counts()["AND2"] == 1
+        assert y in net.nets()
+
+    def test_bus_inputs(self):
+        net = GateNetlist("bus")
+        nets = net.add_inputs("x", 4)
+        assert nets == ["x[0]", "x[1]", "x[2]", "x[3]"]
+
+    def test_reading_undriven_net_rejected(self):
+        net = GateNetlist("bad")
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_gate("AND2", ["a", "ghost"])
+
+    def test_double_driving_rejected(self):
+        net = GateNetlist("bad")
+        a = net.add_input("a")
+        net.add_gate("INV", [a], outputs=["n1"])
+        with pytest.raises(ValueError):
+            net.add_gate("INV", [a], outputs=["n1"])
+
+    def test_duplicate_input_rejected(self):
+        net = GateNetlist("bad")
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_input("a")
+
+    def test_constants_always_available(self):
+        net = GateNetlist("const")
+        (y,) = net.add_gate("OR2", [GateNetlist.CONST_ZERO, GateNetlist.CONST_ONE])
+        net.mark_output(y)
+        assert net.n_gates() == 1
+
+    def test_marking_undriven_output_rejected(self):
+        net = GateNetlist("bad")
+        with pytest.raises(ValueError):
+            net.mark_output("nowhere")
+
+    def test_fanout_and_driver_queries(self):
+        net = GateNetlist("fan")
+        a = net.add_input("a")
+        (n1,) = net.add_gate("INV", [a], outputs=["n1"])
+        net.add_gate("AND2", [n1, a], outputs=["n2"])
+        net.add_gate("OR2", [n1, a], outputs=["n3"])
+        assert net.fanout_of(n1) == 2
+        assert net.driver_of(n1).cell == "INV"
+        assert net.driver_of(a) is None
+
+    def test_ha_fa_have_two_outputs(self):
+        net = GateNetlist("adders")
+        a, b = net.add_input("a"), net.add_input("b")
+        outs = net.add_gate("HA", [a, b])
+        assert len(outs) == 2
+
+    def test_to_block_matches_counts(self):
+        net = GateNetlist("toy")
+        a, b = net.add_input("a"), net.add_input("b")
+        (n1,) = net.add_gate("AND2", [a, b])
+        (n2,) = net.add_gate("INV", [n1])
+        net.mark_output(n2)
+        blk = net.to_block()
+        assert blk.n_cells() == 2
+        assert blk.logic_depth() == 2

@@ -1,0 +1,212 @@
+"""Tests for simulators, datapath synthesis helpers and Verilog export."""
+
+import numpy as np
+import pytest
+
+from repro.hw.netlist import GateNetlist
+from repro.hw.simulate import (
+    ParallelDatapathSimulator,
+    SequentialDatapathSimulator,
+    simulate_combinational,
+)
+from repro.hw.synthesis import (
+    estimate_classifier_score_bound,
+    gate_equivalent_count,
+    synthesize_constant_mac,
+    synthesize_folded_mac,
+)
+from repro.hw.verilog import netlist_to_verilog, sequential_svm_to_verilog
+from repro.hw.rtl.adders import build_ripple_adder_netlist
+
+
+class TestLogicSimulator:
+    def test_missing_input_rejected(self):
+        net = GateNetlist("toy")
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            simulate_combinational(net, {})
+
+    def test_constants(self):
+        net = GateNetlist("toy")
+        a = net.add_input("a")
+        (y,) = net.add_gate("AND2", [a, GateNetlist.CONST_ONE])
+        net.mark_output(y)
+        out = simulate_combinational(net, {"a": 1})
+        assert out[y] == 1
+
+    def test_values_for_all_nets_returned(self):
+        net = build_ripple_adder_netlist(3)
+        out = simulate_combinational(net, {f"{p}[{i}]": 0 for p in "ab" for i in range(3)})
+        for name in net.nets():
+            assert name in out
+
+
+class TestSequentialDatapathSimulator:
+    def test_matches_quantized_model(self, small_split, quantized_ovr):
+        sim = SequentialDatapathSimulator(
+            quantized_ovr.weight_codes, quantized_ovr.bias_codes
+        )
+        codes = quantized_ovr.quantize_inputs(small_split.X_test)
+        hw_ids = sim.run_batch(codes)
+        sw_ids = quantized_ovr.predict_ids(small_split.X_test)
+        assert np.array_equal(hw_ids, sw_ids)
+
+    def test_trace_structure(self, quantized_ovr, small_split):
+        sim = SequentialDatapathSimulator(
+            quantized_ovr.weight_codes, quantized_ovr.bias_codes
+        )
+        codes = quantized_ovr.quantize_inputs(small_split.X_test[:1])[0]
+        result = sim.run(codes)
+        assert result.n_cycles == quantized_ovr.n_classifiers
+        assert len(result.trace) == quantized_ovr.n_classifiers
+        assert [t.selected_classifier for t in result.trace] == list(
+            range(quantized_ovr.n_classifiers)
+        )
+
+    def test_best_score_monotone_in_trace(self, quantized_ovr, small_split):
+        sim = SequentialDatapathSimulator(
+            quantized_ovr.weight_codes, quantized_ovr.bias_codes
+        )
+        codes = quantized_ovr.quantize_inputs(small_split.X_test[:4])
+        for row in codes:
+            result = sim.run(row)
+            best = [t.best_score for t in result.trace]
+            assert best == sorted(best) or all(
+                b >= best[0] for b in best
+            )  # non-decreasing after initial load
+            assert result.predicted_class == result.trace[-1].best_class
+
+    def test_tie_breaking_prefers_first_classifier(self):
+        # Two identical classifiers: the voter's strict > keeps the first.
+        weights = np.array([[1, 1], [1, 1], [0, 0]])
+        biases = np.array([0, 0, -5])
+        sim = SequentialDatapathSimulator(weights, biases)
+        assert sim.run([2, 3]).predicted_class == 0
+
+    def test_wrong_input_length_rejected(self, quantized_ovr):
+        sim = SequentialDatapathSimulator(
+            quantized_ovr.weight_codes, quantized_ovr.bias_codes
+        )
+        with pytest.raises(ValueError):
+            sim.run([1, 2])
+
+    def test_scores_match_linear_algebra(self):
+        weights = np.array([[2, -1, 3], [0, 4, -2]])
+        biases = np.array([5, -7])
+        sim = SequentialDatapathSimulator(weights, biases)
+        x = np.array([1, 2, 3])
+        result = sim.run(x)
+        assert result.scores() == list(weights @ x + biases)
+
+
+class TestParallelDatapathSimulator:
+    def test_ovr_matches_quantized_model(self, small_split, quantized_ovr):
+        sim = ParallelDatapathSimulator(
+            quantized_ovr.weight_codes, quantized_ovr.bias_codes, strategy="ovr"
+        )
+        codes = quantized_ovr.quantize_inputs(small_split.X_test)
+        assert np.array_equal(
+            sim.run_batch(codes), quantized_ovr.predict_ids(small_split.X_test)
+        )
+
+    def test_ovo_matches_quantized_model(self, small_split, quantized_ovo):
+        sim = ParallelDatapathSimulator(
+            quantized_ovo.weight_codes,
+            quantized_ovo.bias_codes,
+            strategy="ovo",
+            pairs=quantized_ovo.pairs,
+            n_classes=quantized_ovo.n_classes,
+        )
+        codes = quantized_ovo.quantize_inputs(small_split.X_test)
+        assert np.array_equal(
+            sim.run_batch(codes), quantized_ovo.predict_ids(small_split.X_test)
+        )
+
+    def test_ovo_without_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelDatapathSimulator(np.zeros((3, 2)), np.zeros(3), strategy="ovo")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelDatapathSimulator(np.zeros((3, 2)), np.zeros(3), strategy="xyz")
+
+
+class TestDatapathSynthesis:
+    def test_folded_mac_multiplier_count(self):
+        block, width = synthesize_folded_mac(21, 4, 6, 18)
+        # 21 multipliers of 4x6: 21 * 24 AND gates for partial products.
+        assert block.counts["AND2"] >= 21 * 24
+        assert width >= 18
+
+    def test_folded_mac_single_feature(self):
+        block, width = synthesize_folded_mac(1, 4, 6, 12)
+        assert block.n_cells() > 0
+        assert width >= 12
+
+    def test_constant_mac_skips_zero_weights(self):
+        dense, _ = synthesize_constant_mac([5, 3, -7, 6], 2, input_bits=4, score_bits=12)
+        sparse, _ = synthesize_constant_mac([5, 0, 0, 0], 2, input_bits=4, score_bits=12)
+        assert sparse.n_cells() < dense.n_cells()
+
+    def test_constant_mac_all_zero_weights_is_free(self):
+        block, _ = synthesize_constant_mac([0, 0, 0], 4, input_bits=4, score_bits=8)
+        assert block.n_cells() == 0
+
+    def test_zero_bias_skips_bias_adder(self):
+        with_bias, _ = synthesize_constant_mac([3, 5], 7, input_bits=4, score_bits=12)
+        without_bias, _ = synthesize_constant_mac([3, 5], 0, input_bits=4, score_bits=12)
+        assert without_bias.n_cells() < with_bias.n_cells()
+
+    def test_score_bound(self):
+        weights = np.array([[3, -2], [1, 4]])
+        biases = np.array([-5, 2])
+        bound = estimate_classifier_score_bound(weights, biases, max_input_code=15)
+        assert bound == max(5 * 15 + 5, 5 * 15 + 2)
+
+    def test_gate_equivalents_positive(self):
+        block, _ = synthesize_folded_mac(4, 4, 6, 14)
+        assert gate_equivalent_count(block) > 0
+
+    def test_invalid_folded_mac_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_folded_mac(0, 4, 6, 12)
+
+
+class TestVerilogExport:
+    def test_structural_verilog_for_adder(self):
+        netlist = build_ripple_adder_netlist(4, name="rca4")
+        verilog = netlist_to_verilog(netlist)
+        assert "module rca4" in verilog
+        assert "endmodule" in verilog
+        assert verilog.count("assign") >= netlist.n_gates()
+        assert "input" in verilog and "output" in verilog
+
+    def test_behavioural_sequential_svm_module(self, quantized_ovr):
+        verilog = sequential_svm_to_verilog(
+            quantized_ovr.weight_codes,
+            quantized_ovr.bias_codes,
+            input_bits=4,
+            weight_bits=6,
+            score_bits=16,
+            module_name="seq_svm_test",
+        )
+        assert "module seq_svm_test" in verilog
+        assert "endmodule" in verilog
+        assert f"N_CLASSIFIERS = {quantized_ovr.n_classifiers}" in verilog
+        assert "sv_counter" in verilog
+        assert "best_score" in verilog
+        assert "case (sv_counter)" in verilog
+        # One case arm per stored support vector, plus the default arm.
+        assert verilog.count(": begin") == quantized_ovr.n_classifiers + 1
+
+    def test_verilog_mentions_every_feature(self, quantized_ovr):
+        verilog = sequential_svm_to_verilog(
+            quantized_ovr.weight_codes,
+            quantized_ovr.bias_codes,
+            input_bits=4,
+            weight_bits=6,
+            score_bits=16,
+        )
+        for f in range(quantized_ovr.n_features):
+            assert f"w{f}" in verilog
+            assert f"x{f}" in verilog

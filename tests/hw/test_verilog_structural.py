@@ -1,0 +1,88 @@
+"""Structural-Verilog emission checks for the small gate-level netlists."""
+
+import re
+
+import pytest
+
+from repro.hw.rtl.adders import build_ripple_adder_netlist
+from repro.hw.rtl.comparator import build_comparator_netlist
+from repro.hw.rtl.multipliers import build_array_multiplier_netlist
+from repro.hw.rtl.mux import build_mux_tree_netlist
+from repro.hw.verilog import _CELL_EXPRESSIONS, netlist_to_verilog
+
+IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _port_names(verilog: str) -> list:
+    """Port identifiers declared in the module header."""
+    header = verilog.split("(", 1)[1].split(");", 1)[0]
+    return [token.strip() for token in header.split(",") if token.strip()]
+
+
+@pytest.mark.parametrize(
+    "builder,kwargs",
+    [
+        (build_ripple_adder_netlist, {"width": 4}),
+        (build_array_multiplier_netlist, {"a_bits": 3, "b_bits": 3}),
+        (build_comparator_netlist, {"width": 4}),
+        (build_mux_tree_netlist, {"n_inputs": 5}),
+    ],
+)
+class TestStructuralVerilog:
+    def test_one_assign_per_gate_output_expression(self, builder, kwargs):
+        netlist = builder(**kwargs)
+        verilog = netlist_to_verilog(netlist)
+        # HA/FA templates contain two assigns; everything else one.
+        expected = sum(
+            2 if gate.cell in ("HA", "FA") else 1 for gate in netlist.gates
+        )
+        assert verilog.count("assign ") == expected
+
+    def test_module_ports_are_legal_identifiers(self, builder, kwargs):
+        netlist = builder(**kwargs)
+        verilog = netlist_to_verilog(netlist)
+        for port in _port_names(verilog):
+            assert IDENTIFIER.match(port), f"illegal port name {port!r}"
+
+    def test_every_declared_port_is_referenced(self, builder, kwargs):
+        netlist = builder(**kwargs)
+        verilog = netlist_to_verilog(netlist)
+        body = verilog.split(");", 1)[1]
+        for port in _port_names(verilog):
+            assert port in body, f"port {port!r} never used in the module body"
+
+    def test_inputs_and_outputs_declared(self, builder, kwargs):
+        netlist = builder(**kwargs)
+        verilog = netlist_to_verilog(netlist)
+        assert verilog.count("  input ") == len(netlist.inputs)
+        assert verilog.count("  output ") == len(netlist.outputs)
+
+    def test_module_name_and_terminator(self, builder, kwargs):
+        netlist = builder(**kwargs)
+        verilog = netlist_to_verilog(netlist)
+        assert verilog.startswith("//")
+        assert f"module {netlist.name}" in verilog
+        assert verilog.rstrip().endswith("endmodule")
+
+
+class TestTemplateCoverage:
+    def test_every_generic_cell_has_a_verilog_template(self):
+        from repro.hw.cells import GENERIC_CELL_SET
+
+        missing = [
+            name
+            for name in GENERIC_CELL_SET
+            if name not in _CELL_EXPRESSIONS and name not in ("DFF", "ADC1")
+        ]
+        assert missing == [], f"cells without Verilog templates: {missing}"
+
+    def test_unknown_cell_rejected(self):
+        from repro.hw.netlist import GateNetlist
+        from repro.hw.verilog import netlist_to_verilog
+
+        netlist = GateNetlist("bad")
+        a = netlist.add_input("a")
+        netlist.add_gate("DFF", [a], outputs=["q"])  # no structural template
+        netlist.mark_output("q")
+        with pytest.raises(ValueError):
+            netlist_to_verilog(netlist)

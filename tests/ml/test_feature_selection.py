@@ -1,0 +1,142 @@
+"""Tests for feature selection and the feature-count co-design sweep."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import (
+    SelectKBest,
+    anova_f_scores,
+    co_design_sweep,
+    mutual_information_scores,
+    select_k_best,
+)
+
+
+def make_data_with_noise_features(n=300, informative=3, noise=5, seed=0):
+    """Classes separated along the first `informative` features only."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 3, size=n)
+    X_info = rng.normal(size=(n, informative)) + 2.5 * y[:, None]
+    X_noise = rng.normal(size=(n, noise))
+    return np.hstack([X_info, X_noise]), y, informative
+
+
+class TestScorers:
+    def test_anova_ranks_informative_features_first(self):
+        X, y, informative = make_data_with_noise_features()
+        scores = anova_f_scores(X, y)
+        top = set(np.argsort(scores)[::-1][:informative].tolist())
+        assert top == set(range(informative))
+
+    def test_mutual_information_ranks_informative_features_first(self):
+        X, y, informative = make_data_with_noise_features(seed=3)
+        scores = mutual_information_scores(X, y)
+        top = set(np.argsort(scores)[::-1][:informative].tolist())
+        assert top == set(range(informative))
+
+    def test_constant_feature_scores_zero(self):
+        X, y, _ = make_data_with_noise_features()
+        X = np.hstack([X, np.full((X.shape[0], 1), 7.0)])
+        assert anova_f_scores(X, y)[-1] == 0.0
+        assert mutual_information_scores(X, y)[-1] == 0.0
+
+    def test_scores_non_negative(self):
+        X, y, _ = make_data_with_noise_features(seed=9)
+        assert np.all(anova_f_scores(X, y) >= 0.0)
+        assert np.all(mutual_information_scores(X, y) >= 0.0)
+
+    def test_invalid_inputs_rejected(self):
+        X, y, _ = make_data_with_noise_features()
+        with pytest.raises(ValueError):
+            anova_f_scores(X, np.zeros(X.shape[0]))  # single class
+        with pytest.raises(ValueError):
+            anova_f_scores(X[:10], y)  # misaligned
+        with pytest.raises(ValueError):
+            mutual_information_scores(X, y, n_bins=1)
+
+
+class TestSelectKBest:
+    def test_selects_requested_count(self):
+        X, y, _ = make_data_with_noise_features()
+        selector = SelectKBest(4).fit(X, y)
+        assert selector.transform(X).shape == (X.shape[0], 4)
+        assert len(selector.selected_indices_) == 4
+
+    def test_indices_sorted_and_valid(self):
+        X, y, _ = make_data_with_noise_features()
+        selector = SelectKBest(5).fit(X, y)
+        idx = selector.selected_indices_
+        assert np.array_equal(idx, np.sort(idx))
+        assert idx.max() < X.shape[1]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SelectKBest(2).transform(np.zeros((3, 4)))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SelectKBest(0)
+        with pytest.raises(ValueError):
+            SelectKBest(2, scorer="chi2_magic")
+        X, y, _ = make_data_with_noise_features()
+        with pytest.raises(ValueError):
+            SelectKBest(X.shape[1] + 1).fit(X, y)
+
+    def test_wrapper_returns_consistent_views(self):
+        X, y, _ = make_data_with_noise_features()
+        X_train, X_test = X[:200], X[200:]
+        X_train_k, X_test_k, idx = select_k_best(X_train, y[:200], X_test, 3)
+        assert X_train_k.shape[1] == X_test_k.shape[1] == 3
+        assert np.array_equal(X_train_k, X_train[:, idx])
+
+    def test_selected_subset_beats_discarded_subset(self):
+        """Training on the k selected features must beat training on the k
+        features the selector discarded — the selection is informative."""
+        from repro.ml.multiclass import OneVsRestClassifier
+        from repro.ml.svm import LinearSVC
+
+        X, y, informative = make_data_with_noise_features(n=400, seed=5)
+        selector = SelectKBest(informative).fit(X, y)
+        selected = selector.selected_indices_
+        discarded = [i for i in range(X.shape[1]) if i not in set(selected.tolist())]
+        acc_selected = (
+            OneVsRestClassifier(LinearSVC(max_iter=40))
+            .fit(X[:, selected], y)
+            .score(X[:, selected], y)
+        )
+        acc_discarded = (
+            OneVsRestClassifier(LinearSVC(max_iter=40))
+            .fit(X[:, discarded[:informative]], y)
+            .score(X[:, discarded[:informative]], y)
+        )
+        assert acc_selected > acc_discarded + 0.1
+
+
+class TestCoDesignSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_split):
+        return co_design_sweep(
+            small_split,
+            feature_counts=[small_split.n_features, 4, 2],
+            svm_max_iter=30,
+            dataset="small-problem",
+        )
+
+    def test_points_cover_requested_counts(self, sweep, small_split):
+        assert sorted(p.n_features for p in sweep.points) == sorted(
+            {small_split.n_features, 4, 2}
+        )
+
+    def test_fewer_features_means_less_hardware(self, sweep):
+        by_count = {p.n_features: p for p in sweep.points}
+        counts = sorted(by_count)
+        assert by_count[counts[0]].area_cm2 < by_count[counts[-1]].area_cm2
+        assert by_count[counts[0]].energy_mj < by_count[counts[-1]].energy_mj
+
+    def test_best_within_accuracy_drop(self, sweep):
+        best = sweep.best_within_accuracy_drop(max_drop_percent=100.0)
+        # With a 100-point allowance the cheapest point must win.
+        assert best.energy_mj == min(p.energy_mj for p in sweep.points)
+        strict = sweep.best_within_accuracy_drop(max_drop_percent=0.0)
+        full = max(sweep.points, key=lambda p: p.n_features)
+        assert strict.accuracy_percent >= full.accuracy_percent

@@ -1,0 +1,220 @@
+"""Tests for the fixed-point number formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.fixed_point import (
+    FixedPointFormat,
+    dequantize_array,
+    fit_format,
+    quantize_array,
+    required_bits_for_integer,
+    signed_coefficient_format,
+    unsigned_input_format,
+)
+
+
+class TestFormatProperties:
+    def test_total_bits_signed(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=3, signed=True)
+        assert fmt.total_bits == 5
+
+    def test_total_bits_unsigned(self):
+        fmt = FixedPointFormat(integer_bits=0, fraction_bits=4, signed=False)
+        assert fmt.total_bits == 4
+
+    def test_resolution(self):
+        fmt = FixedPointFormat(integer_bits=0, fraction_bits=3)
+        assert fmt.resolution == pytest.approx(0.125)
+
+    def test_value_range_signed(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=2, signed=True)
+        assert fmt.min_code == -8
+        assert fmt.max_code == 7
+        assert fmt.min_value == pytest.approx(-2.0)
+        assert fmt.max_value == pytest.approx(1.75)
+
+    def test_value_range_unsigned(self):
+        fmt = unsigned_input_format(4)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == pytest.approx(15.0 / 16.0)
+
+    def test_invalid_rounding_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=1, fraction_bits=2, rounding="bogus")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fraction_bits=0, signed=False)
+
+    def test_describe_mentions_width(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=3, signed=True)
+        assert "5b" in fmt.describe()
+
+
+class TestQuantization:
+    def test_exact_grid_values_unchanged(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=3)
+        values = np.array([0.125, -0.5, 1.0, 0.0])
+        assert np.allclose(fmt.quantize(values), values)
+
+    def test_round_to_nearest(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=3)
+        assert fmt.quantize(0.3) == pytest.approx(0.25)
+        assert fmt.quantize(0.32) == pytest.approx(0.375)
+
+    def test_saturation_at_extremes(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=2, signed=True)
+        assert fmt.quantize(100.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-100.0) == pytest.approx(fmt.min_value)
+
+    def test_overflow_raises_when_not_saturating(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=2, saturate=False)
+        with pytest.raises(OverflowError):
+            fmt.to_code(100.0)
+
+    def test_floor_and_ceil_rounding(self):
+        floor_fmt = FixedPointFormat(integer_bits=2, fraction_bits=0, rounding="floor")
+        ceil_fmt = FixedPointFormat(integer_bits=2, fraction_bits=0, rounding="ceil")
+        assert floor_fmt.quantize(1.7) == pytest.approx(1.0)
+        assert ceil_fmt.quantize(1.2) == pytest.approx(2.0)
+
+    def test_truncate_rounding_moves_toward_zero(self):
+        fmt = FixedPointFormat(integer_bits=2, fraction_bits=0, rounding="truncate")
+        assert fmt.quantize(-1.7) == pytest.approx(-1.0)
+        assert fmt.quantize(1.7) == pytest.approx(1.0)
+
+    def test_code_round_trip(self):
+        fmt = FixedPointFormat(integer_bits=2, fraction_bits=4)
+        values = np.linspace(fmt.min_value, fmt.max_value, 37)
+        codes = fmt.to_code(values)
+        recovered = fmt.from_code(codes)
+        assert np.all(np.abs(recovered - values) <= fmt.resolution / 2 + 1e-12)
+
+    def test_quantization_error_bounded(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=5)
+        values = np.random.default_rng(0).uniform(-1.5, 1.5, size=200)
+        err = fmt.quantization_error(values)
+        assert np.all(np.abs(err) <= fmt.resolution / 2 + 1e-12)
+
+    def test_representable(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=2)
+        assert fmt.representable(0.25)
+        assert not fmt.representable(0.3)
+        assert not fmt.representable(100.0)
+
+    def test_convenience_wrappers(self):
+        fmt = unsigned_input_format(4)
+        x = np.array([0.1, 0.6, 0.95])
+        assert np.allclose(quantize_array(x, fmt), fmt.quantize(x))
+        assert np.allclose(dequantize_array([3, 7], fmt), [3 / 16, 7 / 16])
+
+    def test_scalar_input_returns_scalar_shape(self):
+        fmt = unsigned_input_format(4)
+        assert np.ndim(fmt.to_code(0.5)) == 0
+
+
+class TestDerivedFormats:
+    def test_widen(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=3)
+        wider = fmt.widen(extra_integer_bits=2, extra_fraction_bits=1)
+        assert wider.integer_bits == 3
+        assert wider.fraction_bits == 4
+        assert wider.signed == fmt.signed
+
+    def test_product_format_holds_extreme_products(self):
+        a = unsigned_input_format(4)
+        b = signed_coefficient_format(6)
+        prod = a.product_format(b)
+        extreme = a.max_code * b.min_code
+        assert prod.min_code <= extreme <= prod.max_code
+
+    def test_accumulate_format_growth(self):
+        fmt = FixedPointFormat(integer_bits=2, fraction_bits=2)
+        acc = fmt.accumulate_format(9)
+        assert acc.integer_bits == fmt.integer_bits + 4
+        with pytest.raises(ValueError):
+            fmt.accumulate_format(0)
+
+    def test_fit_format_covers_range(self):
+        values = np.array([-3.7, 0.2, 1.9])
+        fmt = fit_format(values, total_bits=8)
+        assert fmt.total_bits == 8
+        assert fmt.max_value >= 1.9 - fmt.resolution
+        assert fmt.min_value <= -3.7
+
+    def test_fit_format_all_zero(self):
+        fmt = fit_format(np.zeros(5), total_bits=6)
+        assert fmt.total_bits == 6
+
+    def test_fit_format_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_format(np.array([]), total_bits=6)
+
+    def test_signed_coefficient_format_width(self):
+        fmt = signed_coefficient_format(6)
+        assert fmt.total_bits == 6
+        assert fmt.signed
+
+
+class TestRequiredBits:
+    @pytest.mark.parametrize(
+        "value,signed,expected",
+        [
+            (0, True, 1),
+            (1, True, 2),
+            (-1, True, 1),
+            (7, True, 4),
+            (-8, True, 4),
+            (8, True, 5),
+            (255, False, 8),
+            (0, False, 1),
+        ],
+    )
+    def test_required_bits(self, value, signed, expected):
+        assert required_bits_for_integer(value, signed=signed) == expected
+
+    def test_negative_unsigned_rejected(self):
+        with pytest.raises(ValueError):
+            required_bits_for_integer(-1, signed=False)
+
+
+class TestFixedPointHypothesis:
+    @given(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_quantize_is_idempotent(self, int_bits, frac_bits, value):
+        fmt = FixedPointFormat(integer_bits=int_bits, fraction_bits=frac_bits)
+        once = fmt.quantize(value)
+        twice = fmt.quantize(once)
+        assert once == pytest.approx(twice)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_input_format_error_bound(self, bits, value):
+        fmt = unsigned_input_format(bits)
+        q = fmt.quantize(value)
+        # Values above max_value saturate; below that the error is <= 1/2 LSB.
+        if value <= fmt.max_value:
+            assert abs(q - value) <= fmt.resolution / 2 + 1e-12
+        else:
+            assert q == pytest.approx(fmt.max_value)
+
+    @given(st.integers(min_value=-(2 ** 20), max_value=2 ** 20))
+    @settings(max_examples=150, deadline=None)
+    def test_required_bits_round_trip(self, value):
+        bits = required_bits_for_integer(value, signed=True)
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        assert lo <= value <= hi
+        if bits > 1:
+            # Minimality: one bit fewer cannot represent the value.
+            lo2, hi2 = -(1 << (bits - 2)), (1 << (bits - 2)) - 1
+            assert not (lo2 <= value <= hi2)

@@ -1,0 +1,108 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_percent,
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    macro_f1_score,
+    per_class_metrics,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 1])
+        assert accuracy_score(y, y) == 1.0
+
+    def test_half_correct(self):
+        assert accuracy_score([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_percent(self):
+        assert accuracy_percent([0, 1], [0, 0]) == pytest.approx(50.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_prediction(self):
+        y = np.array([0, 1, 2, 2, 1])
+        cm = confusion_matrix(y, y)
+        assert np.array_equal(cm, np.diag([1, 2, 2]))
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert cm[0, 1] == 1
+        assert cm[0, 0] == 1
+        assert cm[1, 1] == 1
+
+    def test_total_equals_sample_count(self, rng):
+        y_true = rng.integers(0, 4, size=100)
+        y_pred = rng.integers(0, 4, size=100)
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.sum() == 100
+
+    def test_explicit_class_count(self):
+        cm = confusion_matrix([0, 1], [1, 0], n_classes=5)
+        assert cm.shape == (5, 5)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([-1, 0], [0, 0])
+
+    def test_label_exceeding_n_classes_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 3], [0, 0], n_classes=2)
+
+
+class TestPerClassMetrics:
+    def test_perfect_scores(self):
+        y = np.array([0, 1, 1, 2])
+        metrics = per_class_metrics(y, y)
+        assert np.allclose(metrics["precision"], 1.0)
+        assert np.allclose(metrics["recall"], 1.0)
+        assert np.allclose(metrics["f1"], 1.0)
+
+    def test_absent_class_scores_zero(self):
+        # Class 2 never appears in y_pred.
+        metrics = per_class_metrics([0, 1, 2], [0, 1, 0])
+        assert metrics["precision"][2] == 0.0
+        assert metrics["recall"][2] == 0.0
+        assert metrics["f1"][2] == 0.0
+
+    def test_known_values(self):
+        # class 0: tp=1, fp=1, fn=1 -> p=r=f1=0.5
+        metrics = per_class_metrics([0, 0, 1, 1], [0, 1, 0, 1])
+        assert metrics["precision"][0] == pytest.approx(0.5)
+        assert metrics["recall"][0] == pytest.approx(0.5)
+        assert metrics["f1"][0] == pytest.approx(0.5)
+
+
+class TestAggregateMetrics:
+    def test_balanced_accuracy_on_imbalanced_data(self):
+        # Majority-class predictor: accuracy is high, balanced accuracy is 1/2.
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        assert accuracy_score(y_true, y_pred) == pytest.approx(0.9)
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_macro_f1_between_zero_and_one(self, rng):
+        y_true = rng.integers(0, 3, size=60)
+        y_pred = rng.integers(0, 3, size=60)
+        assert 0.0 <= macro_f1_score(y_true, y_pred) <= 1.0
+
+    def test_classification_report_contains_sections(self):
+        report = classification_report([0, 1, 1, 0], [0, 1, 0, 0])
+        assert "accuracy" in report
+        assert "balanced accuracy" in report
+        assert "class  0" in report or "class 0" in report

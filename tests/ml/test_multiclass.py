@@ -1,0 +1,111 @@
+"""Tests for the One-vs-Rest / One-vs-One multi-class wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.multiclass import (
+    OneVsOneClassifier,
+    OneVsRestClassifier,
+    n_ovo_classifiers,
+    n_ovr_classifiers,
+    storage_advantage_ovr,
+)
+from repro.ml.svm import LinearSVC
+
+
+class TestClassifierCounts:
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 3), (6, 6), (10, 10)])
+    def test_ovr_count(self, n, expected):
+        assert n_ovr_classifiers(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 3), (6, 15), (10, 45)])
+    def test_ovo_count(self, n, expected):
+        assert n_ovo_classifiers(n) == expected
+
+    def test_storage_advantage_grows_with_classes(self):
+        advantages = [storage_advantage_ovr(n) for n in range(2, 11)]
+        assert advantages == sorted(advantages)
+        assert storage_advantage_ovr(10) == pytest.approx(4.5)
+
+    def test_invalid_class_count_rejected(self):
+        with pytest.raises(ValueError):
+            n_ovr_classifiers(1)
+        with pytest.raises(ValueError):
+            n_ovo_classifiers(1)
+
+
+class TestOneVsRest:
+    def test_accuracy_on_separable_problem(self, small_split, trained_ovr):
+        assert trained_ovr.score(small_split.X_test, small_split.y_test) >= 0.8
+
+    def test_one_classifier_per_class(self, small_split, trained_ovr):
+        assert len(trained_ovr.estimators_) == small_split.n_classes
+        assert trained_ovr.n_stored_vectors_ == small_split.n_classes
+
+    def test_coefficient_matrix_shape(self, small_split, trained_ovr):
+        assert trained_ovr.coef_.shape == (small_split.n_classes, small_split.n_features)
+        assert trained_ovr.intercept_.shape == (small_split.n_classes,)
+
+    def test_decision_function_shape(self, small_split, trained_ovr):
+        scores = trained_ovr.decision_function(small_split.X_test)
+        assert scores.shape == (small_split.n_test, small_split.n_classes)
+
+    def test_prediction_is_argmax_of_scores(self, small_split, trained_ovr):
+        scores = trained_ovr.decision_function(small_split.X_test)
+        expected = trained_ovr.classes_[np.argmax(scores, axis=1)]
+        assert np.array_equal(trained_ovr.predict(small_split.X_test), expected)
+
+    def test_predictions_are_known_classes(self, small_split, trained_ovr):
+        preds = trained_ovr.predict(small_split.X_test)
+        assert set(np.unique(preds)).issubset(set(trained_ovr.classes_.tolist()))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestClassifier().predict(np.zeros((1, 3)))
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            OneVsRestClassifier().fit(X, np.zeros(10))
+
+
+class TestOneVsOne:
+    def test_accuracy_on_separable_problem(self, small_split, trained_ovo):
+        assert trained_ovo.score(small_split.X_test, small_split.y_test) >= 0.8
+
+    def test_pair_count(self, small_split, trained_ovo):
+        n = small_split.n_classes
+        assert len(trained_ovo.estimators_) == n * (n - 1) // 2
+        assert trained_ovo.n_stored_vectors_ == n * (n - 1) // 2
+
+    def test_pairs_are_unique_and_ordered(self, trained_ovo):
+        pairs = trained_ovo.pairs_
+        assert len(set(pairs)) == len(pairs)
+        assert all(i < j for i, j in pairs)
+
+    def test_decision_function_shape(self, small_split, trained_ovo):
+        scores = trained_ovo.decision_function(small_split.X_test)
+        assert scores.shape == (small_split.n_test, len(trained_ovo.pairs_))
+
+    def test_predictions_are_known_classes(self, small_split, trained_ovo):
+        preds = trained_ovo.predict(small_split.X_test)
+        assert set(np.unique(preds)).issubset(set(trained_ovo.classes_.tolist()))
+
+    def test_binary_case_single_estimator(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 1, (30, 2)), rng.normal(2, 1, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        clf = OneVsOneClassifier(LinearSVC(max_iter=50)).fit(X, y)
+        assert len(clf.estimators_) == 1
+        assert clf.score(X, y) >= 0.95
+
+
+class TestOvrVsOvoAgreement:
+    def test_both_strategies_reach_similar_accuracy(self, small_split, trained_ovr, trained_ovo):
+        acc_ovr = trained_ovr.score(small_split.X_test, small_split.y_test)
+        acc_ovo = trained_ovo.score(small_split.X_test, small_split.y_test)
+        assert abs(acc_ovr - acc_ovo) <= 0.2
+
+    def test_ovr_stores_fewer_vectors_for_many_classes(self, trained_ovr, trained_ovo):
+        # 4 classes: OvR stores 4, OvO stores 6.
+        assert trained_ovr.n_stored_vectors_ < trained_ovo.n_stored_vectors_

@@ -1,0 +1,176 @@
+"""Tests for preprocessing: scaling, label encoding, splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.preprocessing import (
+    DatasetSplit,
+    LabelEncoder,
+    MinMaxScaler,
+    prepare_split,
+    train_test_split,
+)
+
+
+class TestMinMaxScaler:
+    def test_transform_maps_to_unit_interval(self, rng):
+        X = rng.normal(5.0, 3.0, size=(50, 4))
+        scaler = MinMaxScaler()
+        Xs = scaler.fit_transform(X)
+        assert Xs.min() >= 0.0
+        assert Xs.max() <= 1.0
+        assert Xs.min(axis=0) == pytest.approx(np.zeros(4))
+        assert Xs.max(axis=0) == pytest.approx(np.ones(4))
+
+    def test_custom_range(self, rng):
+        X = rng.uniform(-10, 10, size=(30, 2))
+        scaler = MinMaxScaler(feature_range=(-1.0, 1.0))
+        Xs = scaler.fit_transform(X)
+        assert Xs.min() >= -1.0
+        assert Xs.max() <= 1.0
+
+    def test_constant_feature_maps_to_lower_bound(self):
+        X = np.column_stack([np.full(10, 3.0), np.arange(10, dtype=float)])
+        Xs = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Xs[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self, rng):
+        X = rng.normal(size=(40, 3)) * 7 + 2
+        scaler = MinMaxScaler()
+        Xs = scaler.fit_transform(X)
+        assert np.allclose(scaler.inverse_transform(Xs), X, atol=1e-9)
+
+    def test_test_data_clipped_into_range(self, rng):
+        X_train = rng.uniform(0, 1, size=(20, 2))
+        scaler = MinMaxScaler(clip=True).fit(X_train)
+        X_test = np.array([[5.0, -3.0]])
+        out = scaler.transform(X_test)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.zeros(5))
+
+
+class TestLabelEncoder:
+    def test_contiguous_ids(self):
+        enc = LabelEncoder()
+        ids = enc.fit_transform(np.array([10, 30, 20, 10, 30]))
+        assert set(ids.tolist()) == {0, 1, 2}
+        assert np.array_equal(enc.classes_, np.array([10, 20, 30]))
+
+    def test_inverse_transform(self):
+        enc = LabelEncoder().fit(np.array(["b", "a", "c"]))
+        ids = enc.transform(np.array(["c", "a"]))
+        assert np.array_equal(enc.inverse_transform(ids), np.array(["c", "a"]))
+
+    def test_unknown_label_rejected(self):
+        enc = LabelEncoder().fit(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            enc.transform(np.array([2]))
+
+    def test_out_of_range_id_rejected(self):
+        enc = LabelEncoder().fit(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform([0])
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 4, size=100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert X_tr.shape[0] + X_te.shape[0] == 100
+        assert abs(X_te.shape[0] - 20) <= 4
+        assert X_tr.shape[0] == y_tr.shape[0]
+        assert X_te.shape[0] == y_te.shape[0]
+
+    def test_no_overlap_and_full_coverage(self, rng):
+        X = np.arange(60, dtype=float).reshape(60, 1)
+        y = np.tile(np.arange(3), 20)
+        X_tr, X_te, _, _ = train_test_split(X, y, test_size=0.25, random_state=3)
+        train_vals = set(X_tr.ravel().tolist())
+        test_vals = set(X_te.ravel().tolist())
+        assert train_vals.isdisjoint(test_vals)
+        assert len(train_vals | test_vals) == 60
+
+    def test_stratified_keeps_all_classes_in_both_sides(self, rng):
+        y = np.array([0] * 50 + [1] * 6 + [2] * 4)
+        X = rng.normal(size=(60, 2))
+        _, _, y_tr, y_te = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert set(y_tr.tolist()) == {0, 1, 2}
+        assert set(y_te.tolist()) == {0, 1, 2}
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.integers(0, 2, size=50)
+        a = train_test_split(X, y, random_state=7)
+        b = train_test_split(X, y, random_state=7)
+        for arr_a, arr_b in zip(a, b):
+            assert np.array_equal(arr_a, arr_b)
+
+    def test_different_seeds_differ(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = rng.integers(0, 2, size=80)
+        _, X_te_a, _, _ = train_test_split(X, y, random_state=1)
+        _, X_te_b, _, _ = train_test_split(X, y, random_state=2)
+        assert not np.array_equal(X_te_a, X_te_b)
+
+    def test_invalid_test_size_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.integers(0, 2, size=10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+
+    def test_unstratified_split(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.integers(0, 2, size=40)
+        X_tr, X_te, _, _ = train_test_split(X, y, test_size=0.3, stratify=False, random_state=0)
+        assert X_tr.shape[0] + X_te.shape[0] == 40
+
+    @given(st.integers(min_value=20, max_value=200), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_split_is_partition_property(self, n, k):
+        rng = np.random.default_rng(n * 7 + k)
+        X = rng.normal(size=(n, 3))
+        y = np.arange(n) % k
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert X_tr.shape[0] + X_te.shape[0] == n
+        assert len(y_tr) + len(y_te) == n
+        assert set(np.unique(y_tr)) == set(range(k))
+
+
+class TestPrepareSplit:
+    def test_end_to_end(self, small_problem):
+        X, y = small_problem
+        split = prepare_split(X, y, test_size=0.2, random_state=0)
+        assert isinstance(split, DatasetSplit)
+        assert split.n_features == X.shape[1]
+        assert split.n_classes == len(np.unique(y))
+        assert split.X_train.min() >= 0.0 and split.X_train.max() <= 1.0
+        assert split.X_test.min() >= 0.0 and split.X_test.max() <= 1.0
+        assert split.n_train + split.n_test == X.shape[0]
+
+    def test_labels_are_contiguous(self, small_problem):
+        X, y = small_problem
+        split = prepare_split(X, y + 100, random_state=0)
+        assert split.y_train.min() == 0
+        assert split.y_train.max() == split.n_classes - 1

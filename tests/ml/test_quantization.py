@@ -1,0 +1,212 @@
+"""Tests for post-training quantization and the lowest-precision search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.quantization import (
+    QuantizedLinearModel,
+    quantize_linear_classifier,
+    quantize_mlp_classifier,
+    search_lowest_precision,
+)
+
+
+class TestQuantizedLinearModel:
+    def test_shapes(self, small_split, quantized_ovr):
+        assert quantized_ovr.n_classifiers == small_split.n_classes
+        assert quantized_ovr.n_features == small_split.n_features
+        assert quantized_ovr.weight_codes.shape == (
+            small_split.n_classes,
+            small_split.n_features,
+        )
+        assert quantized_ovr.bias_codes.shape == (small_split.n_classes,)
+
+    def test_codes_fit_declared_precision(self, quantized_ovr):
+        fmt = quantized_ovr.weight_format
+        assert fmt.total_bits == 6
+        assert quantized_ovr.weight_codes.max() <= fmt.max_code
+        assert quantized_ovr.weight_codes.min() >= fmt.min_code
+
+    def test_integer_codes_are_integers(self, quantized_ovr):
+        assert quantized_ovr.weight_codes.dtype == np.int64
+        assert quantized_ovr.bias_codes.dtype == np.int64
+
+    def test_quantized_accuracy_close_to_float(self, small_split, trained_ovr, quantized_ovr):
+        float_acc = trained_ovr.score(small_split.X_test, small_split.y_test)
+        quant_acc = quantized_ovr.score(small_split.X_test, small_split.y_test)
+        assert quant_acc >= float_acc - 0.15
+
+    def test_integer_scores_match_manual_computation(self, small_split, quantized_ovr):
+        x = small_split.X_test[0]
+        codes = quantized_ovr.quantize_inputs(x.reshape(1, -1))[0]
+        scores = quantized_ovr.integer_scores(codes)
+        manual = quantized_ovr.weight_codes @ codes + quantized_ovr.bias_codes
+        assert np.array_equal(scores.ravel(), manual)
+
+    def test_decision_function_scale(self, small_split, quantized_ovr):
+        scores = quantized_ovr.decision_function(small_split.X_test[:5])
+        int_scores = quantized_ovr.integer_scores(
+            quantized_ovr.quantize_inputs(small_split.X_test[:5])
+        )
+        scale = 2.0 ** (-quantized_ovr.score_scale_bits)
+        assert np.allclose(scores, int_scores * scale)
+
+    def test_predict_ids_match_argmax(self, small_split, quantized_ovr):
+        codes = quantized_ovr.quantize_inputs(small_split.X_test)
+        scores = quantized_ovr.integer_scores(codes)
+        assert np.array_equal(
+            quantized_ovr.predict_ids(small_split.X_test), np.argmax(scores, axis=1)
+        )
+
+    def test_stored_coefficients_layout(self, quantized_ovr):
+        table = quantized_ovr.stored_coefficients()
+        assert table.shape == (
+            quantized_ovr.n_classifiers,
+            quantized_ovr.n_features + 1,
+        )
+        assert np.array_equal(table[:, -1], quantized_ovr.bias_codes)
+
+    def test_accumulator_bits_cover_worst_case(self, quantized_ovr):
+        bits = quantized_ovr.accumulator_bits
+        worst = int(
+            np.max(
+                np.sum(np.abs(quantized_ovr.weight_codes), axis=1)
+                * quantized_ovr.input_format.max_code
+                + np.abs(quantized_ovr.bias_codes)
+            )
+        )
+        assert -(1 << (bits - 1)) <= worst < (1 << (bits - 1))
+
+    def test_ovo_model_carries_pairs(self, quantized_ovo):
+        assert quantized_ovo.strategy == "ovo"
+        assert quantized_ovo.pairs is not None
+        assert len(quantized_ovo.pairs) == quantized_ovo.n_classifiers
+
+    def test_ovo_predictions_are_valid_ids(self, small_split, quantized_ovo):
+        ids = quantized_ovo.predict_ids(small_split.X_test)
+        assert ids.min() >= 0
+        assert ids.max() < small_split.n_classes
+
+    def test_ovo_model_without_pairs_rejected(self, quantized_ovr):
+        with pytest.raises(ValueError):
+            QuantizedLinearModel(
+                weight_codes=quantized_ovr.weight_codes,
+                bias_codes=quantized_ovr.bias_codes,
+                input_format=quantized_ovr.input_format,
+                weight_format=quantized_ovr.weight_format,
+                strategy="ovo",
+                classes=quantized_ovr.classes,
+                pairs=None,
+            )
+
+    def test_invalid_bit_budgets_rejected(self, trained_ovr):
+        with pytest.raises(ValueError):
+            quantize_linear_classifier(trained_ovr, input_bits=0)
+        with pytest.raises(ValueError):
+            quantize_linear_classifier(trained_ovr, weight_bits=1)
+
+
+class TestQuantizedMLP:
+    def test_layer_structure_preserved(self, trained_mlp, quantized_mlp):
+        assert quantized_mlp.layer_sizes == trained_mlp.layer_sizes_
+        assert quantized_mlp.n_layers == len(trained_mlp.weights_)
+
+    def test_quantized_accuracy_close_to_float(self, small_split, trained_mlp, quantized_mlp):
+        float_acc = trained_mlp.score(small_split.X_test, small_split.y_test)
+        quant_acc = quantized_mlp.score(small_split.X_test, small_split.y_test)
+        assert quant_acc >= float_acc - 0.2
+
+    def test_hidden_activations_nonnegative(self, small_split, quantized_mlp):
+        # Run the integer forward pass layer by layer and check the ReLU.
+        codes = quantized_mlp.quantize_inputs(small_split.X_test[:8])
+        a = codes
+        for layer in range(quantized_mlp.n_layers - 1):
+            z = a @ quantized_mlp.weight_codes[layer] + quantized_mlp.bias_codes[layer]
+            a = np.maximum(z, 0)
+            assert np.all(a >= 0)
+
+    def test_multiplication_count(self, trained_mlp, quantized_mlp):
+        assert quantized_mlp.n_multiplications == trained_mlp.n_multiplications_
+
+    def test_unfitted_mlp_rejected(self):
+        from repro.ml.mlp import MLPClassifier
+
+        with pytest.raises(RuntimeError):
+            quantize_mlp_classifier(MLPClassifier())
+
+
+class TestPrecisionSearch:
+    def test_search_returns_lowest_acceptable(self, small_split, trained_ovr):
+        result = search_lowest_precision(
+            trained_ovr,
+            small_split.X_test,
+            small_split.y_test,
+            input_bits=4,
+            max_weight_bits=8,
+            min_weight_bits=2,
+            accuracy_tolerance=0.02,
+        )
+        assert 2 <= result.weight_bits <= 8
+        assert result.accuracy + 0.02 >= result.float_accuracy
+        assert result.quantized_model.weight_format.total_bits == result.weight_bits
+
+    def test_trace_is_decreasing_in_bits(self, small_split, trained_ovr):
+        result = search_lowest_precision(
+            trained_ovr, small_split.X_test, small_split.y_test
+        )
+        bits = [b for b, _ in result.trace]
+        assert bits == sorted(bits, reverse=True)
+
+    def test_zero_tolerance_keeps_high_precision(self, small_split, trained_ovr):
+        strict = search_lowest_precision(
+            trained_ovr,
+            small_split.X_test,
+            small_split.y_test,
+            accuracy_tolerance=0.0,
+        )
+        loose = search_lowest_precision(
+            trained_ovr,
+            small_split.X_test,
+            small_split.y_test,
+            accuracy_tolerance=0.10,
+        )
+        assert loose.weight_bits <= strict.weight_bits
+
+    def test_accuracy_drop_property(self, small_split, trained_ovr):
+        result = search_lowest_precision(
+            trained_ovr, small_split.X_test, small_split.y_test
+        )
+        assert result.accuracy_drop == pytest.approx(
+            result.float_accuracy - result.accuracy
+        )
+
+    def test_works_for_mlp(self, small_split, trained_mlp):
+        result = search_lowest_precision(
+            trained_mlp,
+            small_split.X_test,
+            small_split.y_test,
+            max_weight_bits=8,
+            accuracy_tolerance=0.05,
+        )
+        assert 2 <= result.weight_bits <= 8
+
+    def test_invalid_range_rejected(self, small_split, trained_ovr):
+        with pytest.raises(ValueError):
+            search_lowest_precision(
+                trained_ovr,
+                small_split.X_test,
+                small_split.y_test,
+                max_weight_bits=3,
+                min_weight_bits=5,
+            )
+
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6, 7, 8])
+    def test_more_bits_never_hurts_much(self, bits, small_split, trained_ovr):
+        """Accuracy at b bits should be within noise of accuracy at b-1 bits."""
+        lo = quantize_linear_classifier(trained_ovr, input_bits=4, weight_bits=bits - 1)
+        hi = quantize_linear_classifier(trained_ovr, input_bits=4, weight_bits=bits)
+        acc_lo = lo.score(small_split.X_test, small_split.y_test)
+        acc_hi = hi.score(small_split.X_test, small_split.y_test)
+        assert acc_hi >= acc_lo - 0.25

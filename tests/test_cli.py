@@ -1,0 +1,48 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import main_flow, main_table1
+
+
+class TestTable1Command:
+    def test_single_dataset_fast(self, capsys):
+        exit_code = main_table1(["--datasets", "redwine", "--fast", "--samples", "220"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "redwine" in out
+        assert "Energy" in out
+        assert "energy_improvement_average" in out
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main_table1(["--datasets", "imagenet"])
+
+
+class TestFlowCommand:
+    def test_sequential_flow_report(self, capsys):
+        exit_code = main_flow(["redwine", "ours", "--fast", "--samples", "220"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Ours" in out
+        assert "weight bits used" in out
+
+    def test_verilog_export(self, tmp_path, capsys):
+        target = tmp_path / "design.v"
+        exit_code = main_flow(
+            ["redwine", "ours", "--fast", "--samples", "220", "--verilog", str(target)]
+        )
+        assert exit_code == 0
+        text = target.read_text()
+        assert "module" in text and "endmodule" in text
+
+    def test_verilog_export_unsupported_for_baselines(self, tmp_path):
+        target = tmp_path / "baseline.v"
+        exit_code = main_flow(
+            ["redwine", "mlp_parallel", "--fast", "--samples", "220", "--verilog", str(target)]
+        )
+        assert exit_code == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main_flow(["redwine", "transformer"])

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are executed in-process (``runpy``) with their default fast
+configuration so they share the dataset / flow caches with the rest of the
+test session; each one must finish without raising and produce the output
+sections its docstring promises.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, argv, capsys) -> str:
+    """Execute one example as __main__ with the given argv; return stdout."""
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv)
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["--dataset", "redwine"], capsys)
+        assert "Hardware evaluation" in out
+        assert "Cycle-accurate simulation" in out
+        assert "Printed-battery feasibility" in out
+        assert "True" in out  # bit-exact check
+
+    def test_healthcare_wearable(self, capsys):
+        out = run_example("healthcare_wearable.py", [], capsys)
+        assert "Hardware comparison" in out
+        assert "battery life" in out.lower()
+        assert "longer battery life" in out
+
+    def test_design_space_exploration(self, capsys):
+        out = run_example("design_space_exploration.py", ["--dataset", "redwine"], capsys)
+        assert "Precision sweep" in out
+        assert "Pareto-optimal" in out
+        assert "OvR" in out and "OvO" in out
+        assert "crossbar" in out
+
+    def test_smart_packaging_verilog(self, capsys, tmp_path):
+        out = run_example(
+            "smart_packaging_verilog.py", ["--outdir", str(tmp_path)], capsys
+        )
+        assert "behavioural Verilog written" in out
+        assert (tmp_path / "sequential_svm_redwine.v").exists()
+        assert (tmp_path / "sequential_svm_whitewine.v").exists()
+        verilog = (tmp_path / "sequential_svm_redwine.v").read_text()
+        assert "module" in verilog and "endmodule" in verilog
+
+    def test_manufacturability_study(self, capsys):
+        out = run_example("manufacturability_study.py", ["--dataset", "redwine"], capsys)
+        assert "Floorplans" in out
+        assert "yield" in out.lower()
+        assert "holds at every corner: True" in out

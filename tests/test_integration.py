@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests run the complete pipeline (synthetic dataset -> training ->
+quantization -> circuit generation -> hardware analysis -> cycle-accurate
+simulation) on reduced dataset sizes, and check the cross-cutting invariants
+that individual unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.design_flow import FlowConfig, run_dataset_comparison, run_flow
+from repro.datasets import available_datasets
+from repro.eval.battery import assess_design
+from repro.eval.pareto import accuracy_energy_points, is_on_front
+from repro.hw.pdk import MOLEX_30MW
+
+
+CONFIG = FlowConfig(n_samples=300, svm_max_iter=25, mlp_max_epochs=30, mlp_hidden_neurons=4)
+
+
+@pytest.fixture(scope="module", params=["cardio", "redwine"])
+def comparison(request):
+    """Full four-model comparison on two structurally different datasets."""
+    return request.param, run_dataset_comparison(request.param, config=CONFIG)
+
+
+class TestEndToEndPipeline:
+    def test_every_dataset_runs_the_proposed_flow(self):
+        for dataset in available_datasets():
+            result = run_flow(dataset, "ours", CONFIG)
+            assert result.report.energy_mj > 0
+            assert result.report.accuracy_percent > 30.0
+
+    def test_cycles_equal_class_count(self):
+        expected_classes = {
+            "cardio": 3,
+            "dermatology": 6,
+            "pendigits": 10,
+            "redwine": 6,
+            "whitewine": 7,
+        }
+        for dataset, classes in expected_classes.items():
+            result = run_flow(dataset, "ours", CONFIG)
+            assert result.report.cycles_per_classification == classes
+
+    def test_hardware_simulation_bitexact_for_all_datasets(self):
+        for dataset in available_datasets():
+            result = run_flow(dataset, "ours", CONFIG)
+            X_test = result.split.X_test[:40]
+            assert result.design.verify_against_model(X_test)
+
+    def test_report_internal_consistency(self, comparison):
+        _, results = comparison
+        for result in results:
+            r = result.report
+            assert r.latency_ms == pytest.approx(
+                1000.0 * r.cycles_per_classification / r.frequency_hz, rel=1e-6
+            )
+            assert r.energy_mj == pytest.approx(r.power_mw * r.latency_ms / 1000.0, rel=1e-6)
+            assert r.power_mw == pytest.approx(r.static_power_mw + r.dynamic_power_mw, rel=1e-6)
+
+
+class TestPaperShape:
+    def test_proposed_design_wins_energy(self, comparison):
+        dataset, results = comparison
+        by_kind = {r.kind: r.report for r in results}
+        ours = by_kind["ours"]
+        for kind in ("svm_parallel_exact", "svm_parallel_approx"):
+            assert ours.energy_mj < by_kind[kind].energy_mj, (
+                f"sequential SVM should beat {kind} on energy for {dataset}"
+            )
+
+    def test_proposed_design_fits_printed_battery_baselines_mostly_do_not(self, comparison):
+        _, results = comparison
+        by_kind = {r.kind: r.report for r in results}
+        assert assess_design(by_kind["ours"], MOLEX_30MW).feasible
+        infeasible_baselines = sum(
+            1
+            for kind in ("svm_parallel_exact", "svm_parallel_approx", "mlp_parallel")
+            if not assess_design(by_kind[kind], MOLEX_30MW).feasible
+        )
+        assert infeasible_baselines >= 2
+
+    def test_proposed_design_clock_is_faster_but_latency_longer(self, comparison):
+        """Sequential designs trade a shorter critical path (higher clock) for
+        multi-cycle latency — exactly the Table I pattern."""
+        _, results = comparison
+        by_kind = {r.kind: r.report for r in results}
+        ours = by_kind["ours"]
+        exact = by_kind["svm_parallel_exact"]
+        assert ours.frequency_hz > exact.frequency_hz
+        assert ours.latency_ms > 0.5 * exact.latency_ms
+
+    def test_proposed_design_on_accuracy_energy_pareto_front(self, comparison):
+        _, results = comparison
+        points = accuracy_energy_points([r.report for r in results])
+        ours_point = next(p for p in points if "Ours" in p.label or "ours" in p.label)
+        assert is_on_front(ours_point, points)
+
+    def test_sequential_area_smaller_than_parallel_for_many_classes(self):
+        """Folding pays off most when the class count is large (PenDigits)."""
+        ours = run_flow("pendigits", "ours", CONFIG).report
+        exact = run_flow("pendigits", "svm_parallel_exact", CONFIG).report
+        assert ours.area_cm2 < exact.area_cm2 / 3
+
+
+class TestRobustnessAcrossSeeds:
+    @pytest.mark.parametrize("seed", [11, 29])
+    def test_shape_holds_for_other_dataset_seeds(self, seed):
+        config = FlowConfig(
+            n_samples=300,
+            svm_max_iter=25,
+            mlp_max_epochs=30,
+            dataset_seed=seed,
+            mlp_hidden_neurons=4,
+        )
+        ours = run_flow("redwine", "ours", config).report
+        exact = run_flow("redwine", "svm_parallel_exact", config).report
+        assert ours.energy_mj < exact.energy_mj
+        assert ours.power_mw < 30.0

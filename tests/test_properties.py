@@ -1,0 +1,168 @@
+"""Cross-module property-based tests (hypothesis).
+
+These properties tie the layers together: whatever coefficients a trained
+model ends up with, the quantized software model, the cycle-accurate
+hardware simulator and the architectural cost models must stay consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute_engine import FoldedComputeEngine
+from repro.core.control import SequentialController
+from repro.core.storage import MuxStorage
+from repro.core.voter import SequentialArgmaxVoter
+from repro.hw.pdk import EGFET_PDK
+from repro.hw.rtl.adders import adder_tree, adder_tree_output_width
+from repro.hw.rtl.multipliers import constant_multiplier, csd_digits
+from repro.hw.rtl.registers import counter_bits
+from repro.hw.simulate import SequentialDatapathSimulator
+from repro.ml.fixed_point import required_bits_for_integer
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+small_models = st.tuples(
+    st.integers(min_value=2, max_value=6),   # n_classifiers
+    st.integers(min_value=1, max_value=8),   # n_features
+    st.integers(min_value=1, max_value=999), # seed
+)
+
+
+def _random_model(n_classifiers, n_features, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-31, 32, size=(n_classifiers, n_features))
+    biases = rng.integers(-300, 300, size=n_classifiers)
+    return weights, biases
+
+
+# --------------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------------- #
+class TestDatapathEquivalence:
+    @given(small_models, st.integers(min_value=0, max_value=999))
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_simulator_equals_argmax(self, shape, input_seed):
+        """For any hardwired coefficients and any quantized input, the
+        cycle-accurate sequential datapath computes exactly
+        argmax_k (w_k . x + b_k) with first-wins tie-breaking."""
+        n_classifiers, n_features, seed = shape
+        weights, biases = _random_model(n_classifiers, n_features, seed)
+        x = np.random.default_rng(input_seed).integers(0, 16, size=n_features)
+        sim = SequentialDatapathSimulator(weights, biases)
+        scores = weights @ x + biases
+        assert sim.run(x).predicted_class == int(np.argmax(scores))
+
+    @given(small_models, st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_engine_storage_voter_composition(self, shape, input_seed):
+        """Fetching every word from storage, evaluating it on the folded
+        engine and feeding the scores to the sequential voter reproduces the
+        simulator's prediction — i.e. the four architectural components
+        compose into the paper's datapath."""
+        n_classifiers, n_features, seed = shape
+        weights, biases = _random_model(n_classifiers, n_features, seed)
+        x = np.random.default_rng(input_seed).integers(0, 16, size=n_features)
+
+        score_bound = int(np.max(np.sum(np.abs(weights), axis=1) * 15 + np.abs(biases)))
+        score_bits = max(required_bits_for_integer(score_bound), 2)
+        table = np.hstack([weights, biases.reshape(-1, 1)])
+        storage = MuxStorage(table, [6] * n_features + [score_bits])
+        engine = FoldedComputeEngine(n_features, 4, 6, score_bits)
+        controller = SequentialController(n_classifiers)
+        voter = SequentialArgmaxVoter(score_bits, counter_bits(n_classifiers))
+
+        scores = []
+        for select in controller.run_sequence():
+            word = storage.read(select)
+            scores.append(engine.compute(x, word[:-1], int(word[-1])))
+        predicted = voter.decide(scores)
+
+        sim = SequentialDatapathSimulator(weights, biases)
+        assert predicted == sim.run(x).predicted_class
+
+    @given(small_models)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_is_class_count_times_period(self, shape):
+        """The sequential architecture always takes exactly n cycles."""
+        n_classifiers, _, _ = shape
+        controller = SequentialController(n_classifiers)
+        assert len(controller.run_sequence()) == n_classifiers
+
+
+class TestCostModelInvariants:
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=2, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_adder_tree_area_monotone_in_operand_count(self, n_operands, width):
+        smaller = adder_tree(n_operands, width).area_cm2(EGFET_PDK)
+        larger = adder_tree(n_operands + 1, width).area_cm2(EGFET_PDK)
+        assert larger >= smaller
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_adder_tree_width_bound(self, n_operands, width):
+        out = adder_tree_output_width(n_operands, width)
+        assert width < out <= width + 6
+
+    @given(st.integers(min_value=-127, max_value=127), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_constant_multiplier_cost_bounded_by_csd_weight(self, constant, input_bits):
+        """A bespoke constant multiplier never needs more adder stages than
+        non-zero CSD digits minus one (each stage merges two terms)."""
+        block = constant_multiplier(constant, input_bits)
+        nonzero = sum(1 for d in csd_digits(constant) if d != 0)
+        if nonzero <= 1:
+            # Shift-only (or negation-only) multipliers contain no full adders.
+            assert block.counts.get("FA", 0) == 0
+        else:
+            max_width = input_bits + int(abs(constant)).bit_length()
+            assert block.counts["FA"] <= (nonzero - 1) * (max_width + 2)
+
+    @given(st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_counter_bits_cover_state_count(self, n_states):
+        bits = counter_bits(n_states)
+        assert 2 ** bits >= n_states
+        assert 2 ** max(bits - 1, 0) < n_states or n_states == 1
+
+    @given(small_models)
+    @settings(max_examples=30, deadline=None)
+    def test_storage_cost_scales_with_word_count_not_explode(self, shape):
+        n_classifiers, n_features, seed = shape
+        weights, biases = _random_model(n_classifiers, n_features, seed)
+        table = np.hstack([weights, biases.reshape(-1, 1)])
+        storage = MuxStorage(table, [6] * n_features + [12])
+        # Never more cells than one 2:1 mux per stored bit (the un-collapsed
+        # upper bound), and never negative.
+        upper_bound = storage.total_bits
+        assert 0 <= storage.hardware().n_cells() <= upper_bound + storage.word_bits
+
+
+class TestVoterProperties:
+    @given(
+        st.lists(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1), min_size=1, max_size=20)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sequential_voter_is_argmax_for_any_scores(self, scores):
+        voter = SequentialArgmaxVoter(score_bits=17, index_bits=5)
+        assert voter.decide(scores) == int(np.argmax(scores))
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=2, max_size=12),
+        st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_raising_one_score_can_only_move_prediction_toward_it(self, scores, index):
+        """Monotonicity: increasing classifier k's score never makes the voter
+        prefer a *different* classifier over the previous winner unless that
+        classifier is k itself."""
+        voter = SequentialArgmaxVoter(score_bits=16, index_bits=4)
+        index = index % len(scores)
+        before = voter.decide(scores)
+        bumped = list(scores)
+        bumped[index] += 500
+        after = voter.decide(bumped)
+        assert after in (before, index)
