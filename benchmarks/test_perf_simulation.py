@@ -1,0 +1,59 @@
+"""Perf-smoke benchmark: simulator throughput floors and trajectory record.
+
+Runs the fast configuration of :mod:`repro.perf.benchmark`, asserts the
+ISSUE's acceptance floors — vectorized ``run_batch`` at least 20x the
+per-sample scalar loop on a 1000-sample batch, compiled bit-parallel gate
+simulation at least 10x the interpreted walk on 64+ vector sweeps — and
+refreshes ``BENCH_simulation.json`` at the repo root so the throughput
+trajectory is tracked from this PR onward.
+
+Marked ``perf_smoke`` so it can be selected alone (``pytest -m perf_smoke``)
+as a quick regression probe in future PRs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.benchmark import run_simulation_benchmark, write_benchmark
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Acceptance floors from the ISSUE; measured headroom is >5x above both.
+MIN_DATAPATH_SPEEDUP = 20.0
+MIN_GATE_LEVEL_SPEEDUP = 10.0
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    return run_simulation_benchmark(fast=True)
+
+
+@pytest.mark.perf_smoke
+def test_datapath_batch_speedup_floor(bench_results):
+    for name, record in bench_results["datapath"].items():
+        assert record["n_samples"] >= 1000
+        assert record["speedup"] >= MIN_DATAPATH_SPEEDUP, (
+            f"{name}: run_batch only {record['speedup']:.1f}x over the "
+            f"scalar loop (floor {MIN_DATAPATH_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_gate_level_bitsim_speedup_floor(bench_results):
+    for name, record in bench_results["gate_level"].items():
+        assert record["n_vectors"] >= 64
+        assert record["speedup"] >= MIN_GATE_LEVEL_SPEEDUP, (
+            f"{name}: bit-parallel sweep only {record['speedup']:.1f}x over "
+            f"the interpreted walk (floor {MIN_GATE_LEVEL_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_record_throughput_trajectory(bench_results):
+    path = write_benchmark(bench_results, REPO_ROOT / "BENCH_simulation.json")
+    assert path.exists()
+    assert bench_results["min_speedups"]["datapath_batch"] > 1.0
+    assert bench_results["min_speedups"]["gate_level_bitsim"] > 1.0

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_simulation.json`` (simulator throughput trajectory).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/bench_simulation.py           # fast config
+    PYTHONPATH=src python scripts/bench_simulation.py --full    # larger sweeps
+
+Records samples/s for the vectorized datapath simulators and gate-evals/s
+for the compiled bit-parallel netlist engine, next to the per-path speedup
+over the interpreted seed implementation.  The perf-smoke benchmark
+(``pytest benchmarks/test_perf_simulation.py``) runs the same measurements
+and asserts the speedup floors, so simulator regressions surface in CI.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf.benchmark import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ The package is organised in four layers:
   SVM / MLP baselines and the end-to-end design flow.
 * :mod:`repro.eval` — Table I regeneration, claim aggregation, battery
   feasibility and Pareto analysis.
+* :mod:`repro.perf` — the compiled bit-parallel simulation engine
+  (netlist compile -> uint64-packed evaluation) and the simulator
+  throughput benchmarks.
 
 Quickstart
 ----------

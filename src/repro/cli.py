@@ -54,17 +54,38 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         choices=available_datasets(),
         help="datasets to include (default: all five)",
     )
+    parser.add_argument(
+        "--verify-hardware",
+        action="store_true",
+        help="also check the cycle-accurate simulation of every proposed "
+        "design against its integer model (bit-exact, vectorized)",
+    )
     _add_common_arguments(parser)
     args = parser.parse_args(argv)
     config = _build_config(args)
 
-    table = generate_table1(datasets=args.datasets, config=config)
+    exit_code = 0
+    table = generate_table1(
+        datasets=args.datasets, config=config, verify_hardware=args.verify_hardware
+    )
     print(format_table1(table))
+    if args.verify_hardware:
+        checked = [e for e in table.entries if e.hardware_verified is not None]
+        failed = [e for e in checked if not e.hardware_verified]
+        print()
+        print(
+            f"Hardware verification: {len(checked) - len(failed)}/{len(checked)} "
+            "proposed designs match their integer model bit-exactly."
+        )
+        for entry in failed:
+            print(f"  MISMATCH: {entry.dataset}")
+        if failed:
+            exit_code = 1
     print()
     aggregates = table1_aggregates(table)
     print("Aggregate claims (measured vs paper):")
     print(markdown_claims(aggregates, PAPER_CLAIMS))
-    return 0
+    return exit_code
 
 
 def main_flow(argv: Optional[List[str]] = None) -> int:
@@ -80,6 +101,13 @@ def main_flow(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write the generated behavioural Verilog to this path (proposed design only)",
     )
+    parser.add_argument(
+        "--verify-hardware",
+        action="store_true",
+        help="run the cycle-accurate datapath simulation over the test set "
+        "and check bit-exact agreement with the integer model "
+        "(proposed design only)",
+    )
     _add_common_arguments(parser)
     args = parser.parse_args(argv)
     config = _build_config(args)
@@ -89,6 +117,20 @@ def main_flow(argv: Optional[List[str]] = None) -> int:
     print(breakdown_summary(result.report))
     print(f"float accuracy      : {result.float_accuracy_percent:.2f} %")
     print(f"weight bits used    : {result.weight_bits_used}")
+
+    if args.verify_hardware:
+        design = result.design
+        if not hasattr(design, "verify_against_model"):
+            print("Hardware verification is only available for the proposed sequential design.")
+            return 1
+        ok = design.verify_against_model(result.split.X_test)
+        n_test = result.split.X_test.shape[0]
+        print(
+            f"hardware verification: "
+            f"{'bit-exact match' if ok else 'MISMATCH'} on {n_test} test samples"
+        )
+        if not ok:
+            return 1
 
     if args.verilog is not None:
         design = result.design

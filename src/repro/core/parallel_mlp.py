@@ -52,6 +52,9 @@ class ParallelMLPDesign:
         self.library = library or EGFET_PDK
         self.dataset = dataset
         self._layer_output_bits = self._compute_layer_widths()
+        # Per-neuron synthesis dominates evaluation time; the circuit is
+        # immutable once constructed, so build the block at most once.
+        self._hardware_block: Optional[HardwareBlock] = None
 
     def _compute_layer_widths(self) -> list:
         """Worst-case signed width of every layer's outputs (no re-quantization)."""
@@ -83,7 +86,9 @@ class ParallelMLPDesign:
         return 1
 
     def hardware(self) -> HardwareBlock:
-        """Neuron cones for every layer, ReLUs, and the output argmax."""
+        """Neuron cones for every layer, ReLUs, and the output argmax (cached)."""
+        if self._hardware_block is not None:
+            return self._hardware_block
         layers = []
         for layer_idx, (W, b) in enumerate(
             zip(self.model.weight_codes, self.model.bias_codes)
@@ -117,6 +122,7 @@ class ParallelMLPDesign:
         # Like the parallel SVM baselines, the bespoke MLP is one deep
         # combinational cascade and glitches multiply across its layers.
         design.toggles = scale_toggles(design.toggles, PARALLEL_CASCADE_GLITCH)
+        self._hardware_block = design
         return design
 
     # ------------------------------------------------------------------ #

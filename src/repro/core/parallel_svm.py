@@ -101,6 +101,9 @@ class ParallelSVMDesign:
             pairs=self.model.pairs,
             n_classes=self.model.n_classes,
         )
+        # The bespoke circuit is immutable once constructed; cache the (very
+        # expensive) per-coefficient synthesis of the full block.
+        self._hardware_block: Optional[HardwareBlock] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -117,7 +120,9 @@ class ParallelSVMDesign:
         return 1
 
     def hardware(self) -> HardwareBlock:
-        """All classifier cones plus the vote / argmax network."""
+        """All classifier cones plus the vote / argmax network (cached)."""
+        if self._hardware_block is not None:
+            return self._hardware_block
         input_bits = self.model.input_format.total_bits
         cones = []
         for k in range(self.n_classifiers):
@@ -142,6 +147,7 @@ class ParallelSVMDesign:
         # No register boundaries: glitches from the multiplier cones propagate
         # through the adder trees and the vote network on every evaluation.
         design.toggles = scale_toggles(design.toggles, PARALLEL_CASCADE_GLITCH)
+        self._hardware_block = design
         return design
 
     def _ovo_vote_network(self, index_bits: int) -> HardwareBlock:

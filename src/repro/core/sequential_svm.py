@@ -101,6 +101,10 @@ class SequentialSVMDesign:
         self.simulator = SequentialDatapathSimulator(
             model.weight_codes, model.bias_codes
         )
+        # Structural caches: the circuit is immutable once constructed, so the
+        # component blocks and the composed design are built at most once.
+        self._component_blocks: Optional[dict] = None
+        self._hardware_block: Optional[HardwareBlock] = None
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -118,8 +122,24 @@ class SequentialSVMDesign:
         """One cycle per stored support vector."""
         return self.controller.cycles_per_classification
 
+    def component_hardware(self) -> dict:
+        """The four component blocks, built once and cached.
+
+        Keys match the Table I area-breakdown labels.  The blocks are shared
+        with :meth:`hardware` (composition never mutates its children), so a
+        full evaluation builds each component exactly once.
+        """
+        if self._component_blocks is None:
+            self._component_blocks = {
+                "storage": self.storage.hardware(),
+                "compute_engine": self.engine.hardware(),
+                "voter": self.voter.hardware(),
+                "control": self.controller.hardware(),
+            }
+        return self._component_blocks
+
     def hardware(self) -> HardwareBlock:
-        """The complete circuit as one priced hardware block.
+        """The complete circuit as one priced hardware block (cached).
 
         The four components operate concurrently within a cycle; the cycle's
         critical path runs storage-select -> compute engine -> voter
@@ -128,14 +148,17 @@ class SequentialSVMDesign:
         """
         from repro.hw.netlist import series
 
-        datapath = series(
-            "datapath",
-            [self.storage.hardware(), self.engine.hardware(), self.voter.hardware()],
-        )
-        return parallel(
-            f"sequential_svm[{self.dataset or 'design'}]",
-            [datapath, self.controller.hardware()],
-        )
+        if self._hardware_block is None:
+            components = self.component_hardware()
+            datapath = series(
+                "datapath",
+                [components["storage"], components["compute_engine"], components["voter"]],
+            )
+            self._hardware_block = parallel(
+                f"sequential_svm[{self.dataset or 'design'}]",
+                [datapath, components["control"]],
+            )
+        return self._hardware_block
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -156,11 +179,11 @@ class SequentialSVMDesign:
         )
         area = AreaAnalyzer(self.library).analyze(block)
         accuracy = accuracy_percent(y_test, self.predict(X_test))
+        # Reuse the cached component blocks from the single hardware() build
+        # instead of regenerating every component for the area breakdown.
         breakdown = {
-            "storage": self.storage.hardware().area_cm2(self.library),
-            "compute_engine": self.engine.hardware().area_cm2(self.library),
-            "voter": self.voter.hardware().area_cm2(self.library),
-            "control": self.controller.hardware().area_cm2(self.library),
+            name: component.area_cm2(self.library)
+            for name, component in self.component_hardware().items()
         }
         return ClassifierHardwareReport(
             dataset=self.dataset,

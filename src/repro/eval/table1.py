@@ -38,6 +38,9 @@ class Table1Entry:
     measured: ClassifierHardwareReport
     reference: Optional[object] = None
     flow_result: Optional[FlowResult] = None
+    #: Result of the cycle-accurate hardware-vs-model check (None = not run /
+    #: not applicable for this model kind).
+    hardware_verified: Optional[bool] = None
 
 
 @dataclass
@@ -71,6 +74,7 @@ def generate_table1(
     config: Optional[FlowConfig] = None,
     include_reference: bool = True,
     models: Optional[Sequence[str]] = None,
+    verify_hardware: bool = False,
 ) -> Table1:
     """Run the flow for every (dataset, model) pair the paper reports.
 
@@ -86,6 +90,11 @@ def generate_table1(
         one.
     models:
         Restrict to a subset of model ids (``"ours"``, ``"svm[2]"``, ...).
+    verify_hardware:
+        Additionally run the cycle-accurate datapath simulator over every
+        proposed-design test set and record bit-exact agreement with the
+        integer model in :attr:`Table1Entry.hardware_verified`.  Cheap since
+        the batch simulation path is vectorized (see :mod:`repro.perf`).
     """
     datasets = list(datasets) if datasets is not None else list(TABLE1_DATASETS)
     table = Table1()
@@ -97,6 +106,11 @@ def generate_table1(
             kind = MODEL_TO_KIND[model]
             result = run_flow(dataset, kind, config)
             reference = reference_row(dataset, model) if include_reference else None
+            verified: Optional[bool] = None
+            if verify_hardware and kind == "ours":
+                verified = bool(
+                    result.design.verify_against_model(result.split.X_test)
+                )
             table.entries.append(
                 Table1Entry(
                     dataset=dataset,
@@ -104,6 +118,7 @@ def generate_table1(
                     measured=result.report,
                     reference=reference,
                     flow_result=result,
+                    hardware_verified=verified,
                 )
             )
     return table

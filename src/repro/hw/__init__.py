@@ -43,6 +43,8 @@ from repro.hw.simulate import (
     ParallelDatapathSimulator,
     SequentialDatapathSimulator,
     simulate_combinational,
+    simulate_combinational_batch,
+    simulate_combinational_reference,
 )
 
 __all__ = [
@@ -73,4 +75,6 @@ __all__ = [
     "ParallelDatapathSimulator",
     "SequentialDatapathSimulator",
     "simulate_combinational",
+    "simulate_combinational_batch",
+    "simulate_combinational_reference",
 ]

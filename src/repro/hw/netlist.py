@@ -204,6 +204,11 @@ class GateNetlist:
     gates: List[GateInstance] = field(default_factory=list)
     _net_drivers: Dict[str, str] = field(default_factory=dict)
     _instance_names: set = field(default_factory=set)
+    #: Lazily-built (signature, gate-by-name map, fanout counter) caches so
+    #: driver_of / fanout_of are O(1) instead of scanning every gate.
+    _index_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     CONST_ZERO = "1'b0"
     CONST_ONE = "1'b1"
@@ -281,22 +286,36 @@ class GateNetlist:
             nets.extend(gate.outputs)
         return nets
 
+    def _indices(self) -> tuple:
+        """Precomputed (gate-by-name, fanout-count) maps, rebuilt on growth.
+
+        The cache signature is the (gate, output) counts: the builder API only
+        ever appends, so a stale cache is always detectable by size.
+        """
+        signature = (len(self.gates), len(self.outputs))
+        if self._index_cache is not None and self._index_cache[0] == signature:
+            return self._index_cache[1], self._index_cache[2]
+        gate_by_name = {gate.name: gate for gate in self.gates}
+        fanout: Counter = Counter()
+        for gate in self.gates:
+            fanout.update(gate.inputs)
+        for net in self.outputs:
+            fanout[net] += 1
+        self._index_cache = (signature, gate_by_name, fanout)
+        return gate_by_name, fanout
+
     def driver_of(self, net: str) -> Optional[GateInstance]:
         """The gate driving ``net`` (None for primary inputs / constants)."""
         driver = self._net_drivers.get(net)
         if driver in (None, "<primary-input>"):
             return None
-        for gate in self.gates:
-            if gate.name == driver:
-                return gate
-        return None
+        gate_by_name, _ = self._indices()
+        return gate_by_name.get(driver)
 
     def fanout_of(self, net: str) -> int:
         """Number of gate inputs the net drives (plus 1 if it is an output)."""
-        count = sum(1 for gate in self.gates for pin in gate.inputs if pin == net)
-        if net in self.outputs:
-            count += 1
-        return count
+        _, fanout = self._indices()
+        return int(fanout.get(net, 0))
 
     def to_block(self, name: Optional[str] = None, library: Optional[CellLibrary] = None) -> HardwareBlock:
         """Collapse the explicit netlist into a :class:`HardwareBlock`.

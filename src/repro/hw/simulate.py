@@ -4,15 +4,23 @@ execution of the sequential SVM architecture.
 Two simulators live here:
 
 * :func:`simulate_combinational` — zero-delay event-free evaluation of an
-  explicit :class:`~repro.hw.netlist.GateNetlist` in topological order.  Used
-  by the verification tests to prove that the generated adder / multiplier /
-  MUX / comparator netlists compute exactly what the integer behavioural
-  model says they should.
+  explicit :class:`~repro.hw.netlist.GateNetlist`.  Used by the verification
+  tests to prove that the generated adder / multiplier / MUX / comparator
+  netlists compute exactly what the integer behavioural model says they
+  should.  Evaluation runs through the compiled bit-parallel engine of
+  :mod:`repro.perf` (the program is compiled once per netlist and cached);
+  the original interpreted gate walk is kept as
+  :func:`simulate_combinational_reference` and serves as the oracle the
+  compiled engine is verified against.
 * :class:`SequentialDatapathSimulator` — a cycle-by-cycle model of the
   paper's sequential SVM (Fig. 1): every cycle the control counter selects a
   support vector, the compute engine produces its weighted sum, and the voter
   updates its best-score / best-class registers.  The trace it produces is
-  compared bit-exactly against the quantized software model.
+  compared bit-exactly against the quantized software model.  The scalar
+  :meth:`~SequentialDatapathSimulator.run` is the trace-producing reference;
+  :meth:`~SequentialDatapathSimulator.run_batch` computes the same
+  predictions for whole batches with one matmul plus a first-max-wins argmax
+  that preserves the strict ``A > B`` comparator semantics.
 """
 
 from __future__ import annotations
@@ -35,7 +43,51 @@ def simulate_combinational(
     """Evaluate a combinational netlist for one input vector.
 
     ``input_values`` maps every primary-input net to 0/1.  Returns the value
-    of every net (inputs, internal nets and outputs).  Gates are evaluated in
+    of every net (inputs, internal nets and outputs).  The netlist is
+    compiled to a flat bit-op program on first use (cached on the netlist)
+    and evaluated by the bit-parallel engine; results are bit-identical to
+    :func:`simulate_combinational_reference`.
+    """
+    from repro.perf.bitsim import evaluator_for
+
+    library = library or EGFET_PDK
+    missing = [net for net in netlist.inputs if net not in input_values]
+    if missing:
+        raise ValueError(f"missing values for primary inputs: {missing}")
+    evaluator = evaluator_for(netlist, library)
+    state = evaluator.evaluate_single(
+        [input_values[net] for net in netlist.inputs]
+    )
+    return {net: state[slot] for net, slot in evaluator.program.net_slots.items()}
+
+
+def simulate_combinational_batch(
+    netlist: GateNetlist,
+    input_bits: np.ndarray,
+    library: Optional[CellLibrary] = None,
+) -> np.ndarray:
+    """Bit-parallel sweep: primary-output values for a batch of input vectors.
+
+    ``input_bits`` has shape ``(n_vectors, n_inputs)`` with columns in
+    ``netlist.inputs`` order; returns ``(n_vectors, n_outputs)`` 0/1 values
+    with columns in ``netlist.outputs`` order.  64 vectors are evaluated per
+    ``uint64`` word — this is the fast path for randomized verification
+    sweeps (see :mod:`repro.perf`).
+    """
+    from repro.perf.bitsim import simulate_netlist_batch
+
+    return simulate_netlist_batch(netlist, input_bits, library)
+
+
+def simulate_combinational_reference(
+    netlist: GateNetlist,
+    input_values: Dict[str, int],
+    library: Optional[CellLibrary] = None,
+) -> Dict[str, int]:
+    """Interpreted per-gate evaluation (the original dict-walk simulator).
+
+    Kept as the oracle for the compiled engine and as the baseline the
+    throughput benchmarks measure speedups against.  Gates are evaluated in
     creation order, which the :class:`GateNetlist` builder guarantees to be
     topological.
     """
@@ -57,6 +109,24 @@ def simulate_combinational(
         for net, val in zip(gate.outputs, outs):
             values[net] = val
     return values
+
+
+def _validate_batch_codes(input_codes: np.ndarray, n_features: int) -> np.ndarray:
+    """Normalize a batch of quantized input vectors to ``(n, n_features)`` int64.
+
+    Shared by both simulators' ``run_batch``: 1-D inputs are treated as a
+    single sample, feature-count mismatches raise like the scalar ``run()``
+    does, and an empty batch stays a well-typed ``(0, n_features)`` array.
+    """
+    input_codes = np.asarray(input_codes, dtype=np.int64)
+    if input_codes.ndim == 1:
+        input_codes = input_codes.reshape(1, -1)
+    if input_codes.ndim != 2 or input_codes.shape[1] != n_features:
+        raise ValueError(
+            f"expected batches of {n_features} input codes, "
+            f"got shape {input_codes.shape}"
+        )
+    return input_codes
 
 
 @dataclass
@@ -167,11 +237,20 @@ class SequentialDatapathSimulator:
         )
 
     def run_batch(self, input_codes: np.ndarray) -> np.ndarray:
-        """Predicted class ids for a batch of quantized input vectors."""
-        input_codes = np.asarray(input_codes, dtype=np.int64)
-        if input_codes.ndim == 1:
-            input_codes = input_codes.reshape(1, -1)
-        return np.array([self.run(row).predicted_class for row in input_codes])
+        """Predicted class ids for a batch of quantized input vectors.
+
+        Vectorized equivalent of running :meth:`run` per sample: one
+        ``codes @ W.T + b`` matmul produces every classifier score, and
+        ``argmax`` — which returns the *first* maximal index — reproduces the
+        strict ``A > B`` comparator exactly (a later classifier only replaces
+        the stored best when strictly greater, so ties keep the earlier id).
+        Bit-identical to the scalar oracle; see the equivalence tests.
+        """
+        input_codes = _validate_batch_codes(input_codes, self.n_features)
+        if input_codes.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        scores = input_codes @ self.weight_codes.T + self.bias_codes
+        return np.argmax(scores, axis=1).astype(np.int64)
 
 
 class ParallelDatapathSimulator:
@@ -204,6 +283,17 @@ class ParallelDatapathSimulator:
             else:
                 n_classes = max(max(p) for p in self.pairs) + 1
         self.n_classes = int(n_classes)
+        if strategy == "ovo":
+            # Pair-incidence matrix P[k, j]=+1, P[k, i]=-1 for pair k=(i, j):
+            # batch votes and margins then reduce to single matmuls.
+            self._pair_matrix = np.zeros(
+                (len(self.pairs), self.n_classes), dtype=np.int64
+            )
+            self._base_votes = np.zeros(self.n_classes, dtype=np.int64)
+            for k, (i, j) in enumerate(self.pairs):
+                self._pair_matrix[k, j] = 1
+                self._pair_matrix[k, i] = -1
+                self._base_votes[i] += 1
 
     def run(self, input_codes: Sequence[int]) -> int:
         """Classify one quantized input vector; returns the class id."""
@@ -226,8 +316,33 @@ class ParallelDatapathSimulator:
         return int(order[0])
 
     def run_batch(self, input_codes: np.ndarray) -> np.ndarray:
-        """Predicted class ids for a batch of quantized input vectors."""
-        input_codes = np.asarray(input_codes, dtype=np.int64)
-        if input_codes.ndim == 1:
-            input_codes = input_codes.reshape(1, -1)
-        return np.array([self.run(row) for row in input_codes])
+        """Predicted class ids for a batch of quantized input vectors.
+
+        Vectorized equivalent of :meth:`run` per sample.  OvR resolves with a
+        first-max-wins argmax; OvO accumulates votes and signed margins per
+        class and resolves lexicographically by ``(votes, margins)`` with
+        ties going to the lowest class id — exactly the scalar stable-sort
+        semantics.  Bit-identical to the scalar oracle.
+        """
+        input_codes = _validate_batch_codes(
+            input_codes, int(self.weight_codes.shape[1])
+        )
+        if input_codes.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        scores = input_codes @ self.weight_codes.T + self.bias_codes
+        if self.strategy == "ovr":
+            return np.argmax(scores, axis=1).astype(np.int64)
+
+        # Pair k=(i, j): j gains a vote when score_k >= 0, i otherwise, and
+        # the margin moves by +-score_k.  With P[k, j]=+1 / P[k, i]=-1 the
+        # whole tally is wins @ P (plus i's guaranteed vote per lost pair,
+        # precomputed in _base_votes) and scores @ P.
+        votes = (scores >= 0).astype(np.int64) @ self._pair_matrix + self._base_votes
+        margins = scores @ self._pair_matrix
+        # Lexicographic first-max: among classes with maximal votes, take the
+        # maximal margin; among those, argmax picks the lowest class id.
+        best_votes = votes.max(axis=1, keepdims=True)
+        candidate = votes == best_votes
+        masked = np.where(candidate, margins, np.iinfo(np.int64).min)
+        best_margin = masked.max(axis=1, keepdims=True)
+        return np.argmax(candidate & (masked == best_margin), axis=1).astype(np.int64)

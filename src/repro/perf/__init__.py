@@ -1,0 +1,50 @@
+"""Compiled, vectorized simulation engine (the repo's performance subsystem).
+
+The verification / evaluation hot path used to be interpreted Python: the
+gate-level simulator walked netlists one gate at a time through dict lookups
+and both datapath simulators looped sample by sample.  This package replaces
+that with a two-stage compile -> bitsim pipeline:
+
+* :mod:`repro.perf.compile` — lowers a
+  :class:`~repro.hw.netlist.GateNetlist` into a
+  :class:`~repro.perf.compile.CompiledProgram`: flat numpy opcode / operand
+  / destination index arrays over a dense net-slot table, in topological
+  order, with multi-output cells (HA / FA) expanded into primitive bit ops.
+* :mod:`repro.perf.bitsim` — executes a compiled program bit-parallel: 64
+  test vectors are packed per ``uint64`` word and every op is one numpy
+  bitwise kernel, so a sweep costs ``O(gates * vectors / 64)`` instead of
+  ``O(gates * vectors)`` interpreted steps.
+* :mod:`repro.perf.benchmark` — measures simulation throughput
+  (samples/s, gate-evals/s) and records it to ``BENCH_simulation.json`` so
+  the performance trajectory is tracked PR over PR.  Run it via
+  ``python scripts/bench_simulation.py`` or
+  ``pytest benchmarks/test_perf_simulation.py``.
+
+:func:`repro.hw.simulate.simulate_combinational` and the two datapath
+simulators' ``run_batch`` methods are wired onto this engine; the scalar
+gate walk survives as :func:`~repro.hw.simulate.simulate_combinational_reference`
+and the per-sample :meth:`~repro.hw.simulate.SequentialDatapathSimulator.run`
+remains the trace-producing oracle that the vectorized paths are tested
+bit-exactly against.
+"""
+
+from repro.perf.bitsim import (
+    BitParallelEvaluator,
+    evaluator_for,
+    pack_vectors,
+    simulate_netlist_batch,
+    unpack_vectors,
+    words_to_ints,
+)
+from repro.perf.compile import CompiledProgram, compile_netlist
+
+__all__ = [
+    "BitParallelEvaluator",
+    "CompiledProgram",
+    "compile_netlist",
+    "evaluator_for",
+    "pack_vectors",
+    "simulate_netlist_batch",
+    "unpack_vectors",
+    "words_to_ints",
+]

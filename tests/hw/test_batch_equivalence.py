@@ -1,0 +1,146 @@
+"""Bit-exact equivalence: vectorized ``run_batch`` vs the scalar oracle.
+
+The scalar, trace-producing ``run()`` methods are the reference models of
+the paper's hardware; the vectorized batch paths must reproduce their
+predictions bit for bit — including tie cases, where the strict ``A > B``
+comparator keeps the *earlier* classifier.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.design_flow import fast_config, run_flow
+from repro.datasets import available_datasets
+from repro.hw.simulate import ParallelDatapathSimulator, SequentialDatapathSimulator
+
+
+def random_simulator_inputs(rng, n_classifiers, n_features, n_samples, max_code=15):
+    weights = rng.integers(-31, 32, size=(n_classifiers, n_features), dtype=np.int64)
+    biases = rng.integers(-120, 120, size=n_classifiers, dtype=np.int64)
+    X = rng.integers(0, max_code + 1, size=(n_samples, n_features), dtype=np.int64)
+    return weights, biases, X
+
+
+class TestSequentialBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_oracle_on_random_models(self, seed):
+        rng = np.random.default_rng(seed)
+        weights, biases, X = random_simulator_inputs(rng, 8, 12, 300)
+        sim = SequentialDatapathSimulator(weights, biases)
+        scalar = np.array([sim.run(row).predicted_class for row in X])
+        batch = sim.run_batch(X)
+        assert batch.dtype == np.int64
+        assert np.array_equal(batch, scalar)
+
+    def test_constructed_ties_resolve_to_earlier_classifier(self):
+        # Classifiers 1 and 3 produce identical (maximal) scores; the strict
+        # comparator never replaces an equal best, so classifier 1 must win.
+        weights = np.array([[0, 0], [2, 1], [1, 1], [2, 1], [0, 1]])
+        biases = np.array([-10, 5, 0, 5, 0])
+        sim = SequentialDatapathSimulator(weights, biases)
+        X = np.array([[3, 4], [1, 1], [0, 0]])
+        scalar = np.array([sim.run(row).predicted_class for row in X])
+        batch = sim.run_batch(X)
+        assert np.array_equal(batch, scalar)
+        assert batch[0] == 1  # not 3, despite the equal score
+
+    def test_all_scores_equal_keeps_first_classifier(self):
+        sim = SequentialDatapathSimulator(np.zeros((4, 3), dtype=int), np.zeros(4, dtype=int))
+        assert list(sim.run_batch(np.arange(6).reshape(2, 3))) == [0, 0]
+
+    def test_empty_batch_returns_int64(self):
+        sim = SequentialDatapathSimulator(np.ones((3, 4), dtype=int), np.zeros(3, dtype=int))
+        out = sim.run_batch(np.zeros((0, 4), dtype=np.int64))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_feature_mismatch_rejected_like_run(self):
+        sim = SequentialDatapathSimulator(np.ones((3, 4), dtype=int), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            sim.run_batch(np.zeros((5, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            sim.run_batch(np.zeros(3, dtype=np.int64))
+
+
+class TestParallelBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_ovr_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        weights, biases, X = random_simulator_inputs(rng, 6, 10, 300)
+        sim = ParallelDatapathSimulator(weights, biases, strategy="ovr")
+        scalar = np.array([sim.run(row) for row in X])
+        batch = sim.run_batch(X)
+        assert batch.dtype == np.int64
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("n_classes", [3, 4, 5])
+    def test_ovo_matches_scalar_oracle(self, n_classes):
+        rng = np.random.default_rng(n_classes)
+        pairs = list(itertools.combinations(range(n_classes), 2))
+        weights, biases, X = random_simulator_inputs(rng, len(pairs), 8, 400)
+        sim = ParallelDatapathSimulator(
+            weights, biases, strategy="ovo", pairs=pairs, n_classes=n_classes
+        )
+        scalar = np.array([sim.run(row) for row in X])
+        assert np.array_equal(sim.run_batch(X), scalar)
+
+    def test_ovo_vote_ties_resolve_like_scalar_stable_sort(self):
+        # Force vote ties: zero weights make every pairwise score equal the
+        # bias, so votes/margins are input-independent and engineered to tie.
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        weights = np.zeros((3, 2), dtype=np.int64)
+        # score >= 0 -> j wins.  (0,1)->1, (0,2)->0 (score<0), (1,2)->2:
+        # votes = [1, 1, 1]; margins decide, and remaining ties go to the
+        # lowest class id exactly as the scalar stable sort does.
+        for biases in ([0, -1, 0], [0, 0, 0], [-1, -1, -1], [5, -5, 0]):
+            sim = ParallelDatapathSimulator(
+                weights, np.array(biases), strategy="ovo", pairs=pairs, n_classes=3
+            )
+            X = np.zeros((4, 2), dtype=np.int64)
+            scalar = np.array([sim.run(row) for row in X])
+            assert np.array_equal(sim.run_batch(X), scalar), f"biases={biases}"
+
+    def test_empty_batch_returns_int64(self):
+        sim = ParallelDatapathSimulator(
+            np.ones((3, 4), dtype=int), np.zeros(3, dtype=int), strategy="ovr"
+        )
+        out = sim.run_batch(np.zeros((0, 4), dtype=np.int64))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_feature_mismatch_rejected(self):
+        sim = ParallelDatapathSimulator(
+            np.ones((3, 4), dtype=int), np.zeros(3, dtype=int), strategy="ovr"
+        )
+        with pytest.raises(ValueError):
+            sim.run_batch(np.zeros((5, 6), dtype=np.int64))
+
+
+class TestTable1DatasetEquivalence:
+    """Batch predictions are bit-identical to the oracle on all five datasets."""
+
+    @pytest.fixture(scope="class")
+    def flow_config(self):
+        return fast_config(n_samples=160, svm_max_iter=12, mlp_max_epochs=10)
+
+    @pytest.mark.parametrize("dataset", sorted(available_datasets()))
+    def test_sequential_batch_matches_oracle(self, dataset, flow_config):
+        result = run_flow(dataset, "ours", flow_config)
+        design = result.design
+        codes = design.model.quantize_inputs(result.split.X_test)
+        scalar = np.array(
+            [design.simulator.run(row).predicted_class for row in codes]
+        )
+        assert np.array_equal(design.simulator.run_batch(codes), scalar)
+        # And the cycle-accurate hardware agrees with the integer model.
+        assert design.verify_against_model(result.split.X_test)
+
+    @pytest.mark.parametrize("dataset", sorted(available_datasets()))
+    def test_parallel_batch_matches_oracle(self, dataset, flow_config):
+        result = run_flow(dataset, "svm_parallel_exact", flow_config)
+        design = result.design
+        codes = design.model.quantize_inputs(result.split.X_test)
+        scalar = np.array([design.simulator.run(row) for row in codes])
+        assert np.array_equal(design.simulator.run_batch(codes), scalar)
