@@ -1,0 +1,64 @@
+"""Perf-smoke benchmark: flow-execution caching floors and trajectory record.
+
+Runs :func:`repro.perf.flow_bench.run_flow_benchmark` — cold, warm-from-disk
+and process-sharded Table I regeneration on a fast-configuration subset —
+and asserts the ISSUE's acceptance criteria:
+
+* a warm persistent cache regenerates Table I with **zero** training calls;
+* the warm regeneration is at least 5x faster than the cold one;
+* both the warm and the sharded tables are bit-identical to the cold table
+  (reports and aggregates).
+
+It then refreshes ``BENCH_flow.json`` at the repo root so the flow-execution
+trajectory is tracked from this PR onward.  Marked ``perf_smoke`` so it can
+be selected alone (``pytest -m perf_smoke``) as a quick regression probe.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.flow_bench import run_flow_benchmark, write_benchmark
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Acceptance floor from the ISSUE; measured headroom is far above it.
+MIN_WARM_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    return run_flow_benchmark()
+
+
+@pytest.mark.perf_smoke
+def test_warm_cache_skips_all_training(bench_results):
+    assert bench_results["cold"]["training_calls"] > 0
+    assert bench_results["warm"]["training_calls"] == 0, (
+        "warm persistent cache must serve Table I without retraining"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_warm_cache_speedup_floor(bench_results):
+    speedup = bench_results["warm"]["speedup_vs_cold"]
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm Table I regeneration only {speedup:.1f}x faster than cold "
+        f"(floor {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_cached_and_sharded_tables_bit_identical(bench_results):
+    assert bench_results["warm"]["bit_identical_to_cold"]
+    assert bench_results["sharded"]["bit_identical_to_cold"]
+
+
+@pytest.mark.perf_smoke
+def test_record_flow_trajectory(bench_results):
+    path = write_benchmark(bench_results, REPO_ROOT / "BENCH_flow.json")
+    assert path.exists()
+    assert bench_results["cold"]["rows_per_s"] > 0
+    assert bench_results["warm"]["rows_per_s"] > bench_results["cold"]["rows_per_s"]

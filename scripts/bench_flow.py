@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_flow.json`` (Table I flow-execution trajectory).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/bench_flow.py
+    PYTHONPATH=src python scripts/bench_flow.py --datasets redwine --jobs 4
+
+Records rows/s for cold (train-everything), warm (served entirely from the
+persistent on-disk flow cache) and process-sharded Table I regeneration,
+next to the warm-vs-cold speedup and the number of training calls each run
+executed.  The perf-smoke benchmark (``pytest benchmarks/test_perf_flow.py``)
+runs the same measurements and asserts the warm-cache floor, so caching
+regressions surface in CI.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf.flow_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.design_flow import FlowConfig, MODEL_KINDS, fast_config, run_flow
+from repro.core.design_flow import FlowConfig, MODEL_KINDS, fast_config
+from repro.core.flow_executor import CacheSpec, FlowResultCache, run_flow_cached
 from repro.datasets import available_datasets
 from repro.eval.reference import PAPER_CLAIMS
 from repro.eval.reporting import breakdown_summary, markdown_claims
@@ -33,6 +34,18 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="override the number of samples generated per dataset",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="directory of the persistent flow-result cache "
+        "(default: ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent flow-result cache (always retrain)",
+    )
 
 
 def _build_config(args: argparse.Namespace) -> FlowConfig:
@@ -40,6 +53,15 @@ def _build_config(args: argparse.Namespace) -> FlowConfig:
     if args.samples is not None:
         config = FlowConfig(**{**config.__dict__, "n_samples": args.samples})
     return config
+
+
+def _build_cache(args: argparse.Namespace) -> CacheSpec:
+    """The persistent-cache selection implied by the common CLI flags."""
+    if args.no_cache:
+        return False
+    if args.cache_dir is not None:
+        return FlowResultCache(args.cache_dir)
+    return None
 
 
 def main_table1(argv: Optional[List[str]] = None) -> int:
@@ -60,13 +82,23 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         help="also check the cycle-accurate simulation of every proposed "
         "design against its integer model (bit-exact, vectorized)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard flow runs across this many worker processes (0 = all cores)",
+    )
     _add_common_arguments(parser)
     args = parser.parse_args(argv)
     config = _build_config(args)
 
     exit_code = 0
     table = generate_table1(
-        datasets=args.datasets, config=config, verify_hardware=args.verify_hardware
+        datasets=args.datasets,
+        config=config,
+        verify_hardware=args.verify_hardware,
+        jobs=args.jobs,
+        cache=_build_cache(args),
     )
     print(format_table1(table))
     if args.verify_hardware:
@@ -112,7 +144,7 @@ def main_flow(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     config = _build_config(args)
 
-    result = run_flow(args.dataset, args.kind, config)
+    result = run_flow_cached(args.dataset, args.kind, config, cache=_build_cache(args))
     print(result.report)
     print(breakdown_summary(result.report))
     print(f"float accuracy      : {result.float_accuracy_percent:.2f} %")

@@ -23,6 +23,14 @@ from repro.core.design_flow import (
     run_parallel_mlp_flow,
     run_parallel_svm_flow,
     run_sequential_svm_flow,
+    training_run_count,
+)
+from repro.core.flow_executor import (
+    FlowResultCache,
+    code_fingerprint,
+    default_cache,
+    execute_flow_grid,
+    run_flow_cached,
 )
 from repro.core.parallel_mlp import ParallelMLPDesign
 from repro.core.parallel_svm import ParallelSVMDesign, truncate_model
@@ -45,6 +53,12 @@ __all__ = [
     "run_parallel_mlp_flow",
     "run_parallel_svm_flow",
     "run_sequential_svm_flow",
+    "training_run_count",
+    "FlowResultCache",
+    "code_fingerprint",
+    "default_cache",
+    "execute_flow_grid",
+    "run_flow_cached",
     "ParallelMLPDesign",
     "ParallelSVMDesign",
     "truncate_model",

@@ -18,8 +18,9 @@ is by far the slowest step and the benchmarks revisit the same rows.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -99,14 +100,104 @@ class FlowResult:
     extra: Dict[str, float] = field(default_factory=dict)
 
 
-_SPLIT_CACHE: Dict[Tuple, DatasetSplit] = {}
-_FLOW_CACHE: Dict[Tuple, FlowResult] = {}
+class _BoundedCache:
+    """An LRU-bounded mapping so long sessions cannot grow caches unboundedly.
+
+    The flow caches used to be plain dicts: a service that sweeps many
+    configurations (corner sweeps, precision scans, batch APIs) would retain
+    every trained result forever.  This keeps the most recently used
+    ``maxsize`` entries and evicts the oldest beyond that.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: Tuple):
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Tuple, value: object) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get(self, key: Tuple, default=None):
+        if key in self._data:
+            return self[key]
+        return default
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
-def clear_flow_cache() -> None:
-    """Drop all cached flow results and dataset splits."""
+#: Upper bounds on the in-process caches (entries, LRU-evicted beyond this).
+SPLIT_CACHE_MAX_ENTRIES = 64
+FLOW_CACHE_MAX_ENTRIES = 256
+
+_SPLIT_CACHE = _BoundedCache(SPLIT_CACHE_MAX_ENTRIES)
+_FLOW_CACHE = _BoundedCache(FLOW_CACHE_MAX_ENTRIES)
+
+#: Total number of model trainings this process has executed; the persistent
+#: cache layer (:mod:`repro.core.flow_executor`) uses it to prove that warm
+#: runs retrain nothing.
+_TRAINING_RUNS = 0
+
+
+def training_run_count() -> int:
+    """How many times any flow in this process has trained a model."""
+    return _TRAINING_RUNS
+
+
+def _count_training_run() -> None:
+    global _TRAINING_RUNS
+    _TRAINING_RUNS += 1
+
+
+def clear_flow_cache(disk=False) -> None:
+    """Drop all cached flow results and dataset splits.
+
+    ``disk`` also invalidates the persistent on-disk layer managed by
+    :mod:`repro.core.flow_executor`, so retrained results can never be
+    shadowed by stale persisted rows: pass ``True`` to purge the default
+    cache directory (``~/.cache/repro`` / ``$REPRO_CACHE_DIR``, regardless
+    of ``$REPRO_NO_CACHE``), or a
+    :class:`~repro.core.flow_executor.FlowResultCache` to purge a specific
+    one (e.g. a ``--cache-dir`` location).
+    """
     _SPLIT_CACHE.clear()
     _FLOW_CACHE.clear()
+    if disk:
+        # Imported lazily: flow_executor builds on this module.
+        from repro.core.flow_executor import FlowResultCache
+
+        cache = disk if isinstance(disk, FlowResultCache) else FlowResultCache()
+        cache.clear()
+
+
+def cached_flow_result(
+    dataset_name: str, kind: str, config: "FlowConfig"
+) -> Optional[FlowResult]:
+    """The in-process cached result for one (dataset, kind, config), if any."""
+    return _FLOW_CACHE.get(config.cache_key(dataset_name, kind))
+
+
+def warm_flow_cache(result: FlowResult, config: "FlowConfig") -> None:
+    """Insert an externally produced result (disk cache, worker process)."""
+    _FLOW_CACHE[config.cache_key(result.dataset, result.kind)] = result
 
 
 def prepare_dataset(name: str, config: FlowConfig) -> DatasetSplit:
@@ -161,6 +252,7 @@ def run_sequential_svm_flow(
     classifier = OneVsRestClassifier(
         LinearSVC(C=config.svm_c, max_iter=config.svm_max_iter, random_state=0)
     )
+    _count_training_run()
     classifier.fit(split.X_train, split.y_train)
     float_accuracy = 100.0 * classifier.score(split.X_test, split.y_test)
 
@@ -212,6 +304,7 @@ def run_parallel_svm_flow(
         classifier = OneVsOneClassifier(base)
     else:
         classifier = OneVsRestClassifier(base)
+    _count_training_run()
     classifier.fit(split.X_train, split.y_train)
     float_accuracy = 100.0 * classifier.score(split.X_test, split.y_test)
 
@@ -258,6 +351,7 @@ def run_parallel_mlp_flow(
         max_epochs=config.mlp_max_epochs,
         random_state=0,
     )
+    _count_training_run()
     classifier.fit(split.X_train, split.y_train)
     float_accuracy = 100.0 * classifier.score(split.X_test, split.y_test)
 
@@ -300,10 +394,25 @@ def run_dataset_comparison(
     dataset_name: str,
     kinds: Optional[List[str]] = None,
     config: Optional[FlowConfig] = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> List[FlowResult]:
-    """Run every requested model kind on one dataset (one Table I block)."""
+    """Run every requested model kind on one dataset (one Table I block).
+
+    ``jobs`` shards the (dataset, kind) grid across worker processes and
+    ``cache`` selects the persistent result cache; see
+    :func:`repro.core.flow_executor.execute_flow_grid` for both knobs.
+    """
     kinds = list(kinds) if kinds is not None else list(MODEL_KINDS)
-    return [run_flow(dataset_name, kind, config) for kind in kinds]
+    from repro.core.flow_executor import execute_flow_grid
+
+    results = execute_flow_grid(
+        [(dataset_name, kind) for kind in kinds],
+        config=config,
+        jobs=jobs,
+        cache=cache,
+    )
+    return [results[(dataset_name, kind)] for kind in kinds]
 
 
 def fast_config(n_samples: int = 400, svm_max_iter: int = 25, mlp_max_epochs: int = 40) -> FlowConfig:

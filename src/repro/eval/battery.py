@@ -12,6 +12,7 @@ raises for every design:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -31,13 +32,17 @@ class BatteryAssessment:
     lifetime_hours: Optional[float]
     classifications_per_charge: Optional[float]
 
-    def __str__(self) -> str:  # pragma: no cover - formatting helper
+    def __str__(self) -> str:
         status = "OK" if self.feasible else "EXCEEDS BUDGET"
-        life = (
-            f"{self.lifetime_hours:.1f} h"
-            if self.lifetime_hours is not None and self.lifetime_hours != float("inf")
-            else "unbounded"
-        )
+        # "unbounded" is reserved for a genuinely infinite lifetime (power
+        # harvesters); an unknown lifetime — in particular an infeasible
+        # design the source cannot power at all — renders as "n/a".
+        if self.lifetime_hours is None:
+            life = "n/a"
+        elif math.isinf(self.lifetime_hours):
+            life = "unbounded"
+        else:
+            life = f"{self.lifetime_hours:.1f} h"
         return (
             f"{self.dataset:12s} {self.design:16s} on {self.battery:18s}: {status}, "
             f"{self.power_mw:5.1f} mW, lifetime {life}"
@@ -80,17 +85,32 @@ def assess_design(
 def assess_many(
     reports: Sequence[ClassifierHardwareReport],
     battery: PrintedBattery = MOLEX_30MW,
+    duty_cycle: float = 1.0,
 ) -> List[BatteryAssessment]:
-    """Assess a collection of designs against one power source."""
-    return [assess_design(report, battery) for report in reports]
+    """Assess a collection of designs against one power source.
+
+    ``duty_cycle`` models intermittent operation exactly as in
+    :func:`assess_design`: it scales the average power (and so the lifetime)
+    while feasibility stays a peak-power check at full operating power.
+    """
+    return [assess_design(report, battery, duty_cycle=duty_cycle) for report in reports]
 
 
 def feasible_designs(
     reports: Sequence[ClassifierHardwareReport],
     battery: PrintedBattery = MOLEX_30MW,
+    duty_cycle: float = 1.0,
 ) -> List[ClassifierHardwareReport]:
-    """The subset of designs that the given printed source can power."""
-    return [r for r in reports if battery.can_power(r.power_mw)]
+    """The subset of designs that the given printed source can power.
+
+    Feasibility is a *peak-power* property — the source must sustain the full
+    operating draw while the circuit classifies — so duty cycling cannot make
+    an infeasible design feasible.  The parameter is still validated and
+    routed through :func:`assess_design` so every surface shares one
+    feasibility definition.
+    """
+    assessments = assess_many(reports, battery, duty_cycle=duty_cycle)
+    return [r for r, a in zip(reports, assessments) if a.feasible]
 
 
 def battery_life_extension(

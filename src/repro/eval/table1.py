@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.design_flow import FlowConfig, FlowResult, run_flow
+from repro.core.design_flow import FlowConfig, FlowResult
+from repro.core.flow_executor import CacheSpec, execute_flow_grid
 from repro.core.report import ClassifierHardwareReport
 from repro.eval.comparison import (
     ImprovementSummary,
@@ -75,6 +76,8 @@ def generate_table1(
     include_reference: bool = True,
     models: Optional[Sequence[str]] = None,
     verify_hardware: bool = False,
+    jobs: Optional[int] = None,
+    cache: CacheSpec = None,
 ) -> Table1:
     """Run the flow for every (dataset, model) pair the paper reports.
 
@@ -95,32 +98,48 @@ def generate_table1(
         proposed-design test set and record bit-exact agreement with the
         integer model in :attr:`Table1Entry.hardware_verified`.  Cheap since
         the batch simulation path is vectorized (see :mod:`repro.perf`).
+    jobs:
+        Shard flow runs across this many worker processes (``None``/1 =
+        serial, 0 = all cores).  Training seeds are fixed, so the sharded
+        table is bit-identical to the serial one.
+    cache:
+        Persistent result cache: ``None`` uses the default on-disk layer
+        (``~/.cache/repro`` keyed by config + code fingerprint), ``False``
+        disables it, or pass an explicit
+        :class:`~repro.core.flow_executor.FlowResultCache`.
     """
     datasets = list(datasets) if datasets is not None else list(TABLE1_DATASETS)
-    table = Table1()
+    rows: List[tuple] = []
     for dataset in datasets:
-        reported_models = models_reported_for(dataset)
-        for model in reported_models:
+        for model in models_reported_for(dataset):
             if models is not None and model not in models:
                 continue
-            kind = MODEL_TO_KIND[model]
-            result = run_flow(dataset, kind, config)
-            reference = reference_row(dataset, model) if include_reference else None
-            verified: Optional[bool] = None
-            if verify_hardware and kind == "ours":
-                verified = bool(
-                    result.design.verify_against_model(result.split.X_test)
-                )
-            table.entries.append(
-                Table1Entry(
-                    dataset=dataset,
-                    model=model,
-                    measured=result.report,
-                    reference=reference,
-                    flow_result=result,
-                    hardware_verified=verified,
-                )
+            rows.append((dataset, model, MODEL_TO_KIND[model]))
+
+    results = execute_flow_grid(
+        [(dataset, kind) for dataset, _, kind in rows],
+        config=config,
+        jobs=jobs,
+        cache=cache,
+    )
+
+    table = Table1()
+    for dataset, model, kind in rows:
+        result = results[(dataset, kind)]
+        reference = reference_row(dataset, model) if include_reference else None
+        verified: Optional[bool] = None
+        if verify_hardware and kind == "ours":
+            verified = bool(result.design.verify_against_model(result.split.X_test))
+        table.entries.append(
+            Table1Entry(
+                dataset=dataset,
+                model=model,
+                measured=result.report,
+                reference=reference,
+                flow_result=result,
+                hardware_verified=verified,
             )
+        )
     return table
 
 

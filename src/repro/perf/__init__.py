@@ -19,6 +19,11 @@ that with a two-stage compile -> bitsim pipeline:
   the performance trajectory is tracked PR over PR.  Run it via
   ``python scripts/bench_simulation.py`` or
   ``pytest benchmarks/test_perf_simulation.py``.
+* :mod:`repro.perf.flow_bench` — measures the flow-execution layer above the
+  simulators (cold vs warm-from-persistent-cache vs process-sharded Table I
+  regeneration, see :mod:`repro.core.flow_executor`) and records rows/s and
+  the warm-vs-cold speedup to ``BENCH_flow.json``.  Run it via
+  ``python scripts/bench_flow.py`` or ``pytest benchmarks/test_perf_flow.py``.
 
 :func:`repro.hw.simulate.simulate_combinational` and the two datapath
 simulators' ``run_batch`` methods are wired onto this engine; the scalar
@@ -37,8 +42,10 @@ from repro.perf.bitsim import (
     words_to_ints,
 )
 from repro.perf.compile import CompiledProgram, compile_netlist
+from repro.perf.flow_bench import run_flow_benchmark
 
 __all__ = [
+    "run_flow_benchmark",
     "BitParallelEvaluator",
     "CompiledProgram",
     "compile_netlist",

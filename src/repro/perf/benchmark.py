@@ -55,14 +55,13 @@ def _default_output_path() -> Path:
 DEFAULT_OUTPUT = _default_output_path()
 
 
-def _time(fn, repeats: int = 1) -> float:
-    """Best-of-``repeats`` wall clock for one call.
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` (default and every call site: best-of-3) wall clock.
 
     Both sides of every speedup ratio are timed with the same number of
-    repeats (best-of-3): the vectorized paths finish in well under a
-    millisecond where scheduler noise dominates a single sample, and using
-    an identical methodology for the scalar baselines keeps the recorded
-    ratios unbiased.
+    repeats: the vectorized paths finish in well under a millisecond where
+    scheduler noise dominates a single sample, and using an identical
+    methodology for the scalar baselines keeps the recorded ratios unbiased.
     """
     best = float("inf")
     for _ in range(repeats):

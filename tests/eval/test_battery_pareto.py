@@ -79,6 +79,58 @@ class TestBatteryAssessment:
         text = str(assess_design(report(), MOLEX_30MW))
         assert "OK" in text or "EXCEEDS" in text
 
+    def test_infeasible_lifetime_renders_na_not_unbounded(self):
+        """Regression: a design that EXCEEDS the budget used to print
+        "lifetime unbounded" because ``lifetime_hours=None`` fell into the
+        infinite branch of ``__str__``."""
+        text = str(assess_design(report(power=57.4), MOLEX_30MW))
+        assert "EXCEEDS BUDGET" in text
+        assert "n/a" in text
+        assert "unbounded" not in text
+
+    def test_harvester_lifetime_renders_unbounded(self):
+        from repro.hw.pdk import PRINTED_SOLAR_5MW
+
+        assessment = assess_design(report(power=3.0), PRINTED_SOLAR_5MW)
+        assert assessment.feasible
+        assert assessment.lifetime_hours == float("inf")
+        assert "unbounded" in str(assessment)
+        assert "n/a" not in str(assessment)
+
+    def test_finite_lifetime_renders_hours(self):
+        text = str(assess_design(report(power=15.0), MOLEX_30MW))
+        assert f"{90.0 / 15.0:.1f} h" in text
+        assert "unbounded" not in text and "n/a" not in text
+
+    def test_assess_many_plumbs_duty_cycle(self):
+        """Regression: ``assess_many`` silently ignored duty-cycled operation."""
+        rows = [report(power=20.0), report(dataset="pd", power=10.0)]
+        always_on = assess_many(rows, MOLEX_30MW)
+        intermittent = assess_many(rows, MOLEX_30MW, duty_cycle=0.1)
+        for full, duty in zip(always_on, intermittent):
+            assert duty.lifetime_hours == pytest.approx(full.lifetime_hours * 10.0)
+            assert duty.feasible == full.feasible
+        # Element-wise identical to the single-design entry point.
+        singles = [assess_design(r, MOLEX_30MW, duty_cycle=0.1) for r in rows]
+        assert [a.lifetime_hours for a in intermittent] == [
+            a.lifetime_hours for a in singles
+        ]
+
+    def test_feasible_designs_duty_cycle_keeps_peak_power_check(self):
+        """Duty cycling lowers *average* power only: a design whose peak draw
+        exceeds the source's maximum must stay infeasible at any duty cycle."""
+        rows = [report(power=10.0), report(dataset="pd", power=90.0)]
+        assert len(feasible_designs(rows, MOLEX_30MW, duty_cycle=0.05)) == 1
+        assert feasible_designs(rows, MOLEX_30MW, duty_cycle=0.05) == feasible_designs(
+            rows, MOLEX_30MW
+        )
+
+    def test_invalid_duty_cycle_rejected_by_collection_helpers(self):
+        with pytest.raises(ValueError):
+            assess_many([report()], MOLEX_30MW, duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            feasible_designs([report()], MOLEX_30MW, duty_cycle=1.5)
+
 
 class TestPareto:
     def test_dominance(self):

@@ -18,6 +18,34 @@ class TestTable1Command:
         with pytest.raises(SystemExit):
             main_table1(["--datasets", "imagenet"])
 
+    def test_jobs_and_cache_dir_flags(self, tmp_path, capsys):
+        """A sharded cold run persists results; the warm rerun matches it."""
+        from repro.core.design_flow import clear_flow_cache, training_run_count
+
+        args = [
+            "--datasets", "redwine",
+            "--fast", "--samples", "220",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main_table1(args) == 0
+        cold_out = capsys.readouterr().out
+        assert list(tmp_path.glob("flow-*.pkl"))  # results were persisted
+
+        clear_flow_cache()
+        before = training_run_count()
+        assert main_table1(args) == 0
+        warm_out = capsys.readouterr().out
+        assert training_run_count() == before  # warm run retrained nothing
+        assert warm_out == cold_out
+
+    def test_no_cache_flag_disables_persistence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main_table1(
+            ["--datasets", "redwine", "--fast", "--samples", "220", "--no-cache"]
+        ) == 0
+        assert not list(tmp_path.glob("flow-*.pkl"))
+
 
 class TestFlowCommand:
     def test_sequential_flow_report(self, capsys):
