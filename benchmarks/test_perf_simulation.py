@@ -24,6 +24,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Acceptance floors from the ISSUE; measured headroom is >5x above both.
 MIN_DATAPATH_SPEEDUP = 20.0
 MIN_GATE_LEVEL_SPEEDUP = 10.0
+#: Minimum gate-count reduction the pass pipeline must achieve on the
+#: hardwired constant-datapath workloads (measured: >60% on the MAC).
+MIN_OPT_REDUCTION_PERCENT = 20.0
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +51,20 @@ def test_gate_level_bitsim_speedup_floor(bench_results):
         assert record["speedup"] >= MIN_GATE_LEVEL_SPEEDUP, (
             f"{name}: bit-parallel sweep only {record['speedup']:.1f}x over "
             f"the interpreted walk (floor {MIN_GATE_LEVEL_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_netlist_optimization_reduction_floor(bench_results):
+    """The pass pipeline must remove gates on every constant datapath —
+    bit-exactly (the equivalence sweep runs inside the benchmark)."""
+    assert bench_results["netlist_opt"], "no netlist-optimization workloads ran"
+    for name, record in bench_results["netlist_opt"].items():
+        assert record["equivalent"] == 1.0, f"{name}: optimized netlist diverged"
+        assert record["gates_removed"] > 0, f"{name}: pipeline removed nothing"
+        assert record["reduction_percent"] >= MIN_OPT_REDUCTION_PERCENT, (
+            f"{name}: only {record['reduction_percent']:.1f}% of gates removed "
+            f"(floor {MIN_OPT_REDUCTION_PERCENT}%)"
         )
 
 

@@ -19,7 +19,13 @@ from repro.core.flow_executor import CacheSpec, FlowResultCache, run_flow_cached
 from repro.datasets import available_datasets
 from repro.eval.reference import PAPER_CLAIMS
 from repro.eval.reporting import breakdown_summary, markdown_claims
-from repro.eval.table1 import format_table1, generate_table1, table1_aggregates
+from repro.eval.table1 import (
+    design_mac_netlist,
+    format_table1,
+    format_table1_optimization,
+    generate_table1,
+    table1_aggregates,
+)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +51,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the persistent flow-result cache (always retrain)",
+    )
+    parser.add_argument(
+        "--opt-level",
+        type=int,
+        default=None,
+        choices=(0, 1, 2),
+        help="run the netlist optimization pass pipeline at this level over "
+        "each design's hardwired constant-MAC datapath and report "
+        "optimized-vs-raw gate counts (0 = raw, 1 = const-prop + dead-gate, "
+        "2 = + buffer collapse and structural hashing)",
     )
 
 
@@ -99,8 +115,13 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         verify_hardware=args.verify_hardware,
         jobs=args.jobs,
         cache=_build_cache(args),
+        opt_level=args.opt_level,
     )
     print(format_table1(table))
+    optimization = format_table1_optimization(table)
+    if optimization:
+        print()
+        print(optimization)
     if args.verify_hardware:
         checked = [e for e in table.entries if e.hardware_verified is not None]
         failed = [e for e in checked if not e.hardware_verified]
@@ -149,6 +170,20 @@ def main_flow(argv: Optional[List[str]] = None) -> int:
     print(breakdown_summary(result.report))
     print(f"float accuracy      : {result.float_accuracy_percent:.2f} %")
     print(f"weight bits used    : {result.weight_bits_used}")
+
+    if args.opt_level is not None:
+        from repro.hw.opt import optimize
+
+        netlist = design_mac_netlist(result.design)
+        if netlist is None:
+            print("netlist optimization: no hardwired linear datapath for this model kind")
+        else:
+            stats = optimize(netlist, level=args.opt_level).stats
+            print(
+                f"netlist optimization: {stats.gates_before} gates raw -> "
+                f"{stats.gates_after} optimized "
+                f"({stats.reduction_percent:.1f}% removed at level {stats.level})"
+            )
 
     if args.verify_hardware:
         design = result.design

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.design_flow import FlowConfig, FlowResult
 from repro.core.flow_executor import CacheSpec, execute_flow_grid
 from repro.core.report import ClassifierHardwareReport
@@ -42,6 +44,11 @@ class Table1Entry:
     #: Result of the cycle-accurate hardware-vs-model check (None = not run /
     #: not applicable for this model kind).
     hardware_verified: Optional[bool] = None
+    #: Netlist-optimizer statistics for this design's hardwired constant-MAC
+    #: datapath (None = ``opt_level`` not requested / model has no linear
+    #: coefficient table).  ``opt_stats.gates_before`` is the raw explicit
+    #: gate count, ``opt_stats.gates_after`` the pass-optimized one.
+    opt_stats: Optional[object] = None
 
 
 @dataclass
@@ -70,6 +77,47 @@ class Table1:
         return seen
 
 
+def design_mac_netlist(design: object):
+    """Explicit constant-MAC datapath netlist of a linear design, or None.
+
+    Builds the naive (unoptimized) hardwired multiply-accumulate datapath of
+    the design's *first* classifier — one tied-operand multiplier per
+    coefficient magnitude plus ripple accumulation — which is what the
+    :mod:`repro.hw.opt` pass pipeline consumes for the optimized-vs-raw gate
+    counts surfaced in the Table I report.  Designs without a linear
+    coefficient table (the MLP baseline) return None.
+    """
+    from repro.hw.rtl.multipliers import build_constant_mac_netlist
+
+    model = getattr(design, "model", None)
+    weight_codes = getattr(model, "weight_codes", None)
+    input_format = getattr(model, "input_format", None)
+    # The MLP baseline stores per-layer weight lists, not one linear table.
+    if (
+        input_format is None
+        or not isinstance(weight_codes, np.ndarray)
+        or weight_codes.ndim != 2
+        or weight_codes.shape[0] < 1
+    ):
+        return None
+    weights = [int(w) for w in weight_codes[0]]
+    return build_constant_mac_netlist(
+        weights,
+        int(input_format.total_bits),
+        name=f"mac_{getattr(design, 'dataset', 'design') or 'design'}",
+    )
+
+
+def _attach_opt_stats(entry: Table1Entry, opt_level: int) -> None:
+    """Optimize the entry's constant-MAC datapath and record the stats."""
+    from repro.hw.opt import optimize
+
+    netlist = design_mac_netlist(entry.flow_result.design)
+    if netlist is None:
+        return
+    entry.opt_stats = optimize(netlist, level=opt_level).stats
+
+
 def generate_table1(
     datasets: Optional[Sequence[str]] = None,
     config: Optional[FlowConfig] = None,
@@ -78,6 +126,7 @@ def generate_table1(
     verify_hardware: bool = False,
     jobs: Optional[int] = None,
     cache: CacheSpec = None,
+    opt_level: Optional[int] = None,
 ) -> Table1:
     """Run the flow for every (dataset, model) pair the paper reports.
 
@@ -107,6 +156,11 @@ def generate_table1(
         (``~/.cache/repro`` keyed by config + code fingerprint), ``False``
         disables it, or pass an explicit
         :class:`~repro.core.flow_executor.FlowResultCache`.
+    opt_level:
+        When set, run the :mod:`repro.hw.opt` netlist pass pipeline at this
+        level over each design's hardwired constant-MAC datapath and attach
+        the optimized-vs-raw gate counts to :attr:`Table1Entry.opt_stats`
+        (rendered by :func:`format_table1_optimization`).
     """
     datasets = list(datasets) if datasets is not None else list(TABLE1_DATASETS)
     rows: List[tuple] = []
@@ -130,16 +184,17 @@ def generate_table1(
         verified: Optional[bool] = None
         if verify_hardware and kind == "ours":
             verified = bool(result.design.verify_against_model(result.split.X_test))
-        table.entries.append(
-            Table1Entry(
-                dataset=dataset,
-                model=model,
-                measured=result.report,
-                reference=reference,
-                flow_result=result,
-                hardware_verified=verified,
-            )
+        entry = Table1Entry(
+            dataset=dataset,
+            model=model,
+            measured=result.report,
+            reference=reference,
+            flow_result=result,
+            hardware_verified=verified,
         )
+        if opt_level is not None:
+            _attach_opt_stats(entry, opt_level)
+        table.entries.append(entry)
     return table
 
 
@@ -165,6 +220,30 @@ def format_table1(table: Table1, show_reference: bool = True) -> str:
                 f"{r.accuracy_percent:8.1f} {r.area_cm2:10.2f} {r.power_mw:10.2f} "
                 f"{r.frequency_hz:9.1f} {r.latency_ms:9.1f} {r.energy_mj:11.3f}"
             )
+    return "\n".join(lines)
+
+
+def format_table1_optimization(table: Table1) -> str:
+    """Render the optimized-vs-raw netlist gate counts attached to a table.
+
+    One line per entry that carries :attr:`Table1Entry.opt_stats`; empty
+    string when ``generate_table1`` ran without ``opt_level``.
+    """
+    lines: List[str] = []
+    for entry in table.entries:
+        stats = entry.opt_stats
+        if stats is None:
+            continue
+        if not lines:
+            lines.append(
+                f"Constant-MAC datapath netlists "
+                f"(pass pipeline level {stats.level}, classifier 0):"
+            )
+        lines.append(
+            f"  {entry.dataset:12s} {entry.model:10s} "
+            f"{stats.gates_before:5d} gates raw -> {stats.gates_after:5d} optimized "
+            f"({stats.reduction_percent:5.1f}% removed)"
+        )
     return "\n".join(lines)
 
 

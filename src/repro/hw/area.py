@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.hw.cells import CellLibrary
-from repro.hw.netlist import HardwareBlock
+from repro.hw.netlist import GateNetlist, HardwareBlock
 from repro.hw.pdk import EGFET_PDK
 
 #: Area bound (cm^2) commonly assumed for printed classifier substrates.
@@ -73,3 +73,21 @@ class AreaAnalyzer:
 def analyze_area(block: HardwareBlock, library: Optional[CellLibrary] = None) -> AreaReport:
     """Convenience wrapper around :class:`AreaAnalyzer`."""
     return AreaAnalyzer(library=library).analyze(block)
+
+
+def analyze_netlist_area(
+    netlist: GateNetlist,
+    library: Optional[CellLibrary] = None,
+    opt_level: Optional[int] = None,
+    limit_cm2: float = TYPICAL_PRINTED_AREA_LIMIT_CM2,
+) -> AreaReport:
+    """Area report computed from exact gate counts of an explicit netlist.
+
+    ``opt_level`` optionally runs the :mod:`repro.hw.opt` pass pipeline
+    first, so the report prices the optimized structure — the exact-count
+    companion to the formula-based :func:`analyze_area` estimates.
+    """
+    from repro.hw.opt.lowering import netlist_to_block
+
+    block = netlist_to_block(netlist, library=library, level=opt_level)
+    return AreaAnalyzer(library=library, limit_cm2=limit_cm2).analyze(block)

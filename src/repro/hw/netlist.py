@@ -209,6 +209,11 @@ class GateNetlist:
     _index_cache: Optional[tuple] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Monotonic counter bumped by every structural mutation.  Derived caches
+    #: (the index maps here, the compiled programs of :mod:`repro.perf` and
+    #: the optimized netlists of :mod:`repro.hw.opt`) key on it, so *any*
+    #: rewrite — not just growth — invalidates them.
+    _structure_version: int = field(default=0, init=False, repr=False, compare=False)
 
     CONST_ZERO = "1'b0"
     CONST_ONE = "1'b1"
@@ -221,6 +226,7 @@ class GateNetlist:
             raise ValueError(f"net {net!r} already driven by {self._net_drivers[net]!r}")
         self.inputs.append(net)
         self._net_drivers[net] = "<primary-input>"
+        self._structure_version += 1
         return net
 
     def add_inputs(self, prefix: str, width: int) -> List[str]:
@@ -232,6 +238,7 @@ class GateNetlist:
             raise ValueError(f"cannot mark undriven net {net!r} as output")
         if net not in self.outputs:
             self.outputs.append(net)
+            self._structure_version += 1
 
     def add_gate(
         self,
@@ -264,7 +271,28 @@ class GateNetlist:
         )
         self.gates.append(gate)
         self._instance_names.add(inst_name)
+        self._structure_version += 1
         return gate.outputs
+
+    def note_structural_change(self) -> None:
+        """Declare an in-place structural rewrite of the netlist.
+
+        The builder API only ever appends, but optimization passes (and any
+        external tooling) may rewrite ``gates`` / ``outputs`` directly —
+        replacing a gate's cell, rewiring pins, dropping gates.  Calling this
+        afterwards rebuilds the derived driver/instance maps from the current
+        structure and bumps the structure version, which invalidates every
+        version-keyed cache (index maps, compiled programs, optimized
+        netlists) even when the mutation left all the counts unchanged.
+        """
+        self._structure_version += 1
+        self._index_cache = None
+        drivers: Dict[str, str] = {net: "<primary-input>" for net in self.inputs}
+        for gate in self.gates:
+            for net in gate.outputs:
+                drivers[net] = gate.name
+        self._net_drivers = drivers
+        self._instance_names = {gate.name for gate in self.gates}
 
     @staticmethod
     def _n_outputs_of(cell: str) -> int:
@@ -286,13 +314,24 @@ class GateNetlist:
             nets.extend(gate.outputs)
         return nets
 
-    def _indices(self) -> tuple:
-        """Precomputed (gate-by-name, fanout-count) maps, rebuilt on growth.
+    def structural_signature(self) -> tuple:
+        """Cheap signature identifying the current netlist structure.
 
-        The cache signature is the (gate, output) counts: the builder API only
-        ever appends, so a stale cache is always detectable by size.
+        Combines the mutation version with the gate/input/output counts:
+        growth through the builder API and in-place rewrites announced via
+        :meth:`note_structural_change` both change it, so any cache keyed on
+        it is invalidated by every structural mutation.
         """
-        signature = (len(self.gates), len(self.outputs))
+        return (
+            self._structure_version,
+            len(self.gates),
+            len(self.inputs),
+            len(self.outputs),
+        )
+
+    def _indices(self) -> tuple:
+        """Precomputed (gate-by-name, fanout-count) maps, version-invalidated."""
+        signature = self.structural_signature()
         if self._index_cache is not None and self._index_cache[0] == signature:
             return self._index_cache[1], self._index_cache[2]
         gate_by_name = {gate.name: gate for gate in self.gates}
@@ -323,12 +362,9 @@ class GateNetlist:
         The critical path is extracted by longest-path analysis over the
         gate graph (unit = one cell of the gate's type); activity defaults to
         0.5 toggles per gate per evaluation, which the caller may override.
+        :func:`repro.hw.opt.netlist_to_block` is the same lowering with an
+        optional optimization level applied first.
         """
-        from repro.hw.timing import longest_path_cells
+        from repro.hw.opt.lowering import netlist_to_block
 
-        counts = self.cell_counts()
-        path = longest_path_cells(self)
-        toggles = {cell: 0.5 * n for cell, n in counts.items()}
-        return HardwareBlock(
-            name=name or self.name, counts=counts, path=path, toggles=toggles
-        )
+        return netlist_to_block(self, name=name, library=library)

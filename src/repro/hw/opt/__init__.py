@@ -1,0 +1,68 @@
+"""Netlist optimization: a pass pipeline over explicit gate-level netlists.
+
+The RTL generators emit netlists verbatim — including logic whose inputs are
+tied-off constants (hardwired-coefficient multipliers with zero or
+power-of-two weights being the canonical case).  This package optimizes such
+netlists through a small pass manager before any downstream layer consumes
+them:
+
+* :func:`optimize` — run the pipeline at a given level; returns an
+  :class:`OptResult` (optimized :class:`~repro.hw.netlist.GateNetlist` +
+  :class:`OptStats` with per-pass removal counts).
+* passes — constant propagation, buffer/double-inverter collapsing,
+  structural hashing (CSE) and dead-gate elimination
+  (:mod:`repro.hw.opt.passes`).
+* :func:`check_equivalence` — random-vector bit-parallel equivalence of raw
+  vs optimized netlists (the correctness contract of the whole package).
+* :func:`netlist_to_block` — lower a (optionally optimized) netlist to a
+  priced :class:`~repro.hw.netlist.HardwareBlock` for exact area / power /
+  timing next to the formula-based estimates.
+
+Consumers: ``compile_netlist(..., opt_level=...)`` (compiled simulation),
+``netlist_to_verilog(..., opt_level=...)`` (export),
+``analyze_netlist_timing`` / ``analyze_netlist_area`` /
+``analyze_netlist_power`` (pricing) and the Table I ``--opt-level`` report.
+"""
+
+from repro.hw.opt.ir import IRGate, IRNetlist
+from repro.hw.opt.lowering import netlist_to_block
+from repro.hw.opt.passes import (
+    COMMUTATIVE_CELLS,
+    DEFAULT_OPAQUE_CELLS,
+    PASS_FUNCTIONS,
+    PassContext,
+    buffer_collapse,
+    constant_propagation,
+    dead_gate_elimination,
+    structural_hashing,
+)
+from repro.hw.opt.pipeline import (
+    LEVEL_PASSES,
+    MAX_OPT_LEVEL,
+    OptimizationError,
+    OptResult,
+    OptStats,
+    check_equivalence,
+    optimize,
+)
+
+__all__ = [
+    "IRGate",
+    "IRNetlist",
+    "netlist_to_block",
+    "COMMUTATIVE_CELLS",
+    "DEFAULT_OPAQUE_CELLS",
+    "PASS_FUNCTIONS",
+    "PassContext",
+    "buffer_collapse",
+    "constant_propagation",
+    "dead_gate_elimination",
+    "structural_hashing",
+    "LEVEL_PASSES",
+    "MAX_OPT_LEVEL",
+    "OptimizationError",
+    "OptResult",
+    "OptStats",
+    "check_equivalence",
+    "optimize",
+]

@@ -1,0 +1,158 @@
+"""Mutable intermediate representation the optimization passes operate on.
+
+A :class:`GateNetlist` is append-only by design (the builder API validates
+drivers as gates are added), which makes it a poor substrate for rewriting.
+The passes therefore work on an :class:`IRNetlist`: a plain list of mutable
+:class:`IRGate` records in topological order plus a *net alias map*.  Removing
+a gate never patches its fanout — the gate's output nets are aliased to their
+replacement (a constant, another net) and every consumer resolves aliases
+lazily through :meth:`IRNetlist.resolve`.  This keeps each pass O(gates)
+instead of O(gates * fanout).
+
+:meth:`IRNetlist.to_netlist` reconstructs a valid :class:`GateNetlist`:
+
+* alias chains are fully resolved into the surviving gates' input pins;
+* primary inputs and the primary-output *names and order* are preserved
+  verbatim, so the optimized netlist is a drop-in replacement for the raw one
+  (same simulation interface, same Verilog ports);
+* a primary output whose driver was optimized away is recovered either by
+  renaming the surviving net it aliases to (free) or, when that net is a
+  constant / primary input / another primary output, by inserting one
+  port buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.netlist import GateNetlist
+
+CONST_ZERO = GateNetlist.CONST_ZERO
+CONST_ONE = GateNetlist.CONST_ONE
+CONSTANTS = (CONST_ZERO, CONST_ONE)
+
+
+@dataclass
+class IRGate:
+    """One mutable cell instance; ``inputs`` may hold unresolved aliases."""
+
+    name: str
+    cell: str
+    inputs: List[str]
+    outputs: List[str]
+
+
+@dataclass
+class IRNetlist:
+    """Gate list + alias map the passes rewrite in place."""
+
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    gates: List[IRGate]
+    alias: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_netlist(cls, netlist: GateNetlist) -> "IRNetlist":
+        return cls(
+            name=netlist.name,
+            inputs=list(netlist.inputs),
+            outputs=list(netlist.outputs),
+            gates=[
+                IRGate(
+                    name=gate.name,
+                    cell=gate.cell,
+                    inputs=list(gate.inputs),
+                    outputs=list(gate.outputs),
+                )
+                for gate in netlist.gates
+            ],
+        )
+
+    # ------------------------------------------------------------------ #
+    def resolve(self, net: str) -> str:
+        """Final replacement of ``net`` after alias chains (path-compressed)."""
+        target = self.alias.get(net)
+        if target is None:
+            return net
+        chain = [net]
+        while target in self.alias:
+            chain.append(target)
+            target = self.alias[target]
+        for link in chain:
+            self.alias[link] = target
+        return target
+
+    def add_alias(self, net: str, replacement: str) -> None:
+        """Redirect every consumer of ``net`` to ``replacement``."""
+        replacement = self.resolve(replacement)
+        if replacement == net:
+            raise ValueError(f"cannot alias net {net!r} to itself")
+        self.alias[net] = replacement
+
+    def resolved_inputs(self, gate: IRGate) -> List[str]:
+        return [self.resolve(pin) for pin in gate.inputs]
+
+    def driver_map(self) -> Dict[str, IRGate]:
+        """Output net -> driving gate, over the current (alive) gate list."""
+        drivers: Dict[str, IRGate] = {}
+        for gate in self.gates:
+            for net in gate.outputs:
+                drivers[net] = gate
+        return drivers
+
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    # ------------------------------------------------------------------ #
+    def to_netlist(self) -> GateNetlist:
+        """Reconstruct a valid :class:`GateNetlist` from the rewritten IR."""
+        # Primary outputs whose driver was removed alias to a surviving net.
+        # Prefer renaming that net back to the output name (free); fall back
+        # to a port buffer when the net is a constant, a primary input,
+        # another primary output, or already renamed for a different output.
+        input_set = set(self.inputs)
+        output_set = set(self.outputs)
+        rename: Dict[str, str] = {}
+        for out in self.outputs:
+            target = self.resolve(out)
+            if (
+                target != out
+                and target not in CONSTANTS
+                and target not in input_set
+                and target not in output_set
+                and target not in rename
+            ):
+                rename[target] = out
+
+        def final(net: str) -> str:
+            net = self.resolve(net)
+            return rename.get(net, net)
+
+        netlist = GateNetlist(name=self.name)
+        for net in self.inputs:
+            netlist.add_input(net)
+        for gate in self.gates:
+            netlist.add_gate(
+                gate.cell,
+                [final(pin) for pin in gate.inputs],
+                outputs=[rename.get(net, net) for net in gate.outputs],
+                name=gate.name,
+            )
+        existing_names = {gate.name for gate in self.gates}
+        n_buffers = 0
+        for out in self.outputs:
+            if final(out) != out:
+                # Constant, primary input or a net shared with another
+                # primary output: keep the port name alive with one buffer.
+                buf_name = f"obuf{n_buffers}"
+                while buf_name in existing_names:
+                    n_buffers += 1
+                    buf_name = f"obuf{n_buffers}"
+                existing_names.add(buf_name)
+                n_buffers += 1
+                netlist.add_gate("BUF", [final(out)], outputs=[out], name=buf_name)
+            netlist.mark_output(out)
+        return netlist

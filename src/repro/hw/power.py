@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.hw.cells import CellLibrary
-from repro.hw.netlist import HardwareBlock
+from repro.hw.netlist import GateNetlist, HardwareBlock
 from repro.hw.pdk import EGFET_PDK
 
 
@@ -113,6 +113,28 @@ def analyze_power(
     library: Optional[CellLibrary] = None,
 ) -> PowerReport:
     """Convenience wrapper around :class:`PowerAnalyzer`."""
+    return PowerAnalyzer(library=library).analyze(
+        block, frequency_hz, cycles_per_classification
+    )
+
+
+def analyze_netlist_power(
+    netlist: GateNetlist,
+    frequency_hz: float,
+    cycles_per_classification: int = 1,
+    library: Optional[CellLibrary] = None,
+    opt_level: Optional[int] = None,
+) -> PowerReport:
+    """Power report computed from exact gate counts of an explicit netlist.
+
+    ``opt_level`` optionally runs the :mod:`repro.hw.opt` pass pipeline
+    first, so static power and switching energy reflect the optimized cell
+    inventory — the exact-count companion to the formula-based
+    :func:`analyze_power` estimates.
+    """
+    from repro.hw.opt.lowering import netlist_to_block
+
+    block = netlist_to_block(netlist, library=library, level=opt_level)
     return PowerAnalyzer(library=library).analyze(
         block, frequency_hz, cycles_per_classification
     )

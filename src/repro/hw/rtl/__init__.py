@@ -15,6 +15,8 @@ from repro.hw.rtl.adders import (
 from repro.hw.rtl.multipliers import (
     array_multiplier,
     build_array_multiplier_netlist,
+    build_constant_mac_netlist,
+    build_constant_multiplier_netlist,
     constant_multiplier,
     csd_digits,
     csd_nonzero_count,
@@ -34,6 +36,8 @@ __all__ = [
     "array_multiplier",
     "constant_multiplier",
     "build_array_multiplier_netlist",
+    "build_constant_mac_netlist",
+    "build_constant_multiplier_netlist",
     "csd_digits",
     "csd_nonzero_count",
     "mux_tree",

@@ -200,24 +200,28 @@ def constant_multiplier_output_bits(constant_code: int, input_bits: int) -> int:
 # --------------------------------------------------------------------------- #
 # Explicit gate-level construction (small instances, for verification)
 # --------------------------------------------------------------------------- #
-def build_array_multiplier_netlist(
-    a_bits: int, b_bits: int, name: str = "mult"
-) -> GateNetlist:
-    """Explicit unsigned array multiplier netlist (for logic-level checks).
+def _emit_array_product(
+    netlist: GateNetlist,
+    a_nets: List[str],
+    b_nets: List[str],
+    prefix: str = "",
+) -> List[str]:
+    """Emit the textbook unsigned array-multiplier structure into a netlist.
 
-    Implements the textbook unsigned array: AND partial products reduced with
-    ripple rows.  Primary inputs ``a[a_bits]``, ``b[b_bits]``; outputs
-    ``p[a_bits + b_bits]``.
+    ``a_nets`` / ``b_nets`` are existing nets of ``netlist`` (constant nets
+    allowed — that is how the naive hardwired-constant multipliers below tie
+    one operand off).  Returns the product nets, LSB first; entries may be
+    constant nets when whole rows vanish.
     """
-    if a_bits < 1 or b_bits < 1:
-        raise ValueError("multiplier operand widths must be >= 1")
-    netlist = GateNetlist(name=name)
-    a = netlist.add_inputs("a", a_bits)
-    b = netlist.add_inputs("b", b_bits)
-
+    a_bits, b_bits = len(a_nets), len(b_nets)
     # Partial products pp[j][i] = a[i] & b[j]
     pp = [
-        [netlist.add_gate("AND2", [a[i], b[j]], outputs=[f"pp{j}_{i}"])[0] for i in range(a_bits)]
+        [
+            netlist.add_gate(
+                "AND2", [a_nets[i], b_nets[j]], outputs=[f"{prefix}pp{j}_{i}"]
+            )[0]
+            for i in range(a_bits)
+        ]
         for j in range(b_bits)
     ]
 
@@ -232,19 +236,144 @@ def build_array_multiplier_netlist(
         for i in range(a_bits):
             acc_bit = acc[i] if i < len(acc) else GateNetlist.CONST_ZERO
             s, carry = netlist.add_gate(
-                "FA", [row[i], acc_bit, carry], outputs=[f"s{j}_{i}", f"c{j}_{i}"]
+                "FA",
+                [row[i], acc_bit, carry],
+                outputs=[f"{prefix}s{j}_{i}", f"{prefix}c{j}_{i}"],
             )
             new_acc.append(s)
         new_acc.append(carry)
         outputs.append(new_acc[0])
         acc = new_acc[1:]
     outputs.extend(acc)
+    return outputs
 
-    for k, net in enumerate(outputs):
+
+def _emit_ripple_add(
+    netlist: GateNetlist, x_nets: List[str], y_nets: List[str], prefix: str
+) -> List[str]:
+    """Emit a naive ripple adder over two (possibly unequal-width) operands.
+
+    Shorter operands are zero-padded with the constant net; every position
+    uses a full adder with the carry chain seeded at constant 0 — deliberately
+    unoptimized, the pass pipeline's constant propagation folds the tied
+    positions (``FA(a, b, 0)`` -> ``HA`` etc.).  Returns sum nets plus the
+    final carry, LSB first.
+    """
+    width = max(len(x_nets), len(y_nets))
+    carry = GateNetlist.CONST_ZERO
+    sums: List[str] = []
+    for i in range(width):
+        x = x_nets[i] if i < len(x_nets) else GateNetlist.CONST_ZERO
+        y = y_nets[i] if i < len(y_nets) else GateNetlist.CONST_ZERO
+        s, carry = netlist.add_gate(
+            "FA", [x, y, carry], outputs=[f"{prefix}s{i}", f"{prefix}c{i}"]
+        )
+        sums.append(s)
+    sums.append(carry)
+    return sums
+
+
+def _constant_operand_nets(magnitude: int) -> List[str]:
+    """Constant nets encoding an unsigned magnitude as a tied-off operand."""
+    b_bits = max(int(magnitude).bit_length(), 1)
+    return [
+        GateNetlist.CONST_ONE if (magnitude >> j) & 1 else GateNetlist.CONST_ZERO
+        for j in range(b_bits)
+    ]
+
+
+def _mark_bus_outputs(netlist: GateNetlist, nets: List[str], tie_prefix: str = "pz") -> None:
+    """Mark product nets as outputs, buffering constant bits to observe them."""
+    for k, net in enumerate(nets):
         if net in (GateNetlist.CONST_ZERO, GateNetlist.CONST_ONE):
             # Tie constant product bits through a buffer so they are observable.
-            net = netlist.add_gate("BUF", [net], outputs=[f"pz{k}"])[0]
+            net = netlist.add_gate("BUF", [net], outputs=[f"{tie_prefix}{k}"])[0]
         netlist.mark_output(net)
+
+
+def build_array_multiplier_netlist(
+    a_bits: int, b_bits: int, name: str = "mult"
+) -> GateNetlist:
+    """Explicit unsigned array multiplier netlist (for logic-level checks).
+
+    Implements the textbook unsigned array: AND partial products reduced with
+    ripple rows.  Primary inputs ``a[a_bits]``, ``b[b_bits]``; outputs
+    ``p[a_bits + b_bits]``.
+    """
+    if a_bits < 1 or b_bits < 1:
+        raise ValueError("multiplier operand widths must be >= 1")
+    netlist = GateNetlist(name=name)
+    a = netlist.add_inputs("a", a_bits)
+    b = netlist.add_inputs("b", b_bits)
+    outputs = _emit_array_product(netlist, a, b)
+    _mark_bus_outputs(netlist, outputs)
+    return netlist
+
+
+def build_constant_multiplier_netlist(
+    constant_code: int, input_bits: int, name: Optional[str] = None
+) -> GateNetlist:
+    """Naive hardwired-constant multiplier netlist: ``|constant| * a``.
+
+    The same array structure as :func:`build_array_multiplier_netlist` with
+    the ``b`` operand *tied off* to the constant's magnitude bits — exactly
+    what a generator emitting "one multiplier per coefficient" produces
+    before optimization.  Rows of AND gates fed by ``1'b0`` and full adders
+    with constant operands are emitted verbatim; the :mod:`repro.hw.opt`
+    pass pipeline is what folds them away (the cost model already prices
+    zero / power-of-two constants at zero — see :func:`constant_multiplier`).
+
+    The sign of a negative constant is ignored (magnitude multiplier); the
+    negation stage is priced separately, as in :func:`constant_multiplier`.
+    Primary inputs ``a[input_bits]``; outputs are the product bits of
+    ``magnitude * a``, LSB first.
+    """
+    if input_bits < 1:
+        raise ValueError("multiplier input width must be >= 1")
+    magnitude = abs(int(constant_code))
+    name = name or f"cmul{magnitude}_{input_bits}b"
+    netlist = GateNetlist(name=name)
+    a = netlist.add_inputs("a", input_bits)
+    outputs = _emit_array_product(netlist, a, _constant_operand_nets(magnitude))
+    _mark_bus_outputs(netlist, outputs)
+    return netlist
+
+
+def build_constant_mac_netlist(
+    weight_codes: List[int], input_bits: int, name: Optional[str] = None
+) -> GateNetlist:
+    """Naive constant-MAC datapath: one tied-operand multiplier per weight.
+
+    The fully-parallel baselines instantiate one hardwired multiplier per
+    coefficient and sum the products; this builder emits that datapath
+    *unoptimized* — tied-off array multipliers (see
+    :func:`build_constant_multiplier_netlist`) chained through naive ripple
+    adders seeded with constant carries.  It is the reference workload for
+    the :mod:`repro.hw.opt` pass pipeline: zero weights leave whole dead
+    multipliers behind, power-of-two weights reduce to wiring, and shared
+    partial products hash together.
+
+    Weights enter as magnitudes (``|w|``); sign handling lives in the
+    subtract/negate stages the cost model prices separately.  Primary inputs
+    ``x{f}[input_bits]`` per feature ``f``; outputs are the accumulated sum
+    bits, LSB first.
+    """
+    weights = [abs(int(w)) for w in weight_codes]
+    if not weights:
+        raise ValueError("need at least one weight")
+    if input_bits < 1:
+        raise ValueError("input width must be >= 1")
+    netlist = GateNetlist(name=name or f"cmac_{len(weights)}x{input_bits}b")
+    acc: Optional[List[str]] = None
+    for f, magnitude in enumerate(weights):
+        x = netlist.add_inputs(f"x{f}", input_bits)
+        product = _emit_array_product(
+            netlist, x, _constant_operand_nets(magnitude), prefix=f"m{f}_"
+        )
+        acc = product if acc is None else _emit_ripple_add(
+            netlist, acc, product, prefix=f"acc{f}_"
+        )
+    _mark_bus_outputs(netlist, acc)
     return netlist
 
 

@@ -150,3 +150,27 @@ def analyze_timing(
 ) -> TimingReport:
     """Convenience wrapper around :class:`TimingAnalyzer`."""
     return TimingAnalyzer(library=library).analyze(block, sequential=sequential)
+
+
+def analyze_netlist_timing(
+    netlist: GateNetlist,
+    sequential: bool = False,
+    library: Optional[CellLibrary] = None,
+    params: Optional[PDKParameters] = None,
+    opt_level: Optional[int] = None,
+) -> TimingReport:
+    """Static timing analysis straight from an explicit gate-level netlist.
+
+    The netlist is lowered to a :class:`HardwareBlock` with exact cell counts
+    and a longest-path-extracted critical path
+    (:func:`repro.hw.opt.netlist_to_block`); ``opt_level`` optionally runs
+    the :mod:`repro.hw.opt` pass pipeline first, so the report prices the
+    *optimized* structure.  ``sequential`` defaults to False because the
+    explicit netlists generated by :mod:`repro.hw.rtl` are combinational.
+    """
+    from repro.hw.opt.lowering import netlist_to_block
+
+    block = netlist_to_block(netlist, library=library, level=opt_level)
+    return TimingAnalyzer(library=library, params=params).analyze(
+        block, sequential=sequential
+    )

@@ -52,8 +52,17 @@ def _sanitize(net: str) -> str:
     )
 
 
-def netlist_to_verilog(netlist: GateNetlist) -> str:
-    """Emit a structural (assign-per-gate) Verilog module for a netlist."""
+def netlist_to_verilog(netlist: GateNetlist, opt_level: int = 0) -> str:
+    """Emit a structural (assign-per-gate) Verilog module for a netlist.
+
+    ``opt_level > 0`` runs the :mod:`repro.hw.opt` pass pipeline first and
+    emits the optimized netlist; the module interface (port names and order)
+    is identical at every level, only the internal gate structure shrinks.
+    """
+    if opt_level:
+        from repro.hw.opt.pipeline import optimize
+
+        netlist = optimize(netlist, level=opt_level).netlist
     inputs = [_sanitize(n) for n in netlist.inputs]
     outputs = [_sanitize(n) for n in netlist.outputs]
     ports = inputs + outputs

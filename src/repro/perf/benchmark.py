@@ -10,6 +10,10 @@ tracked PR over PR:
 * **gate level** — compiled bit-parallel netlist sweeps vs the interpreted
   per-gate dict-walk reference, in gate-evals/s, over every RTL generator
   family (adder, multiplier, MUX tree, comparator).
+* **netlist opt** — gate-count reduction of the :mod:`repro.hw.opt` pass
+  pipeline on the hardwired constant-datapath workloads (tied-operand MAC /
+  multiplier), plus the simulation speedup of evaluating the optimized
+  program and a random-vector equivalence check.
 
 Entry points: ``python scripts/bench_simulation.py`` (writes the JSON) and
 ``pytest benchmarks/test_perf_simulation.py`` (asserts the speedup floors
@@ -29,7 +33,11 @@ import numpy as np
 
 from repro.hw.rtl.adders import build_ripple_adder_netlist
 from repro.hw.rtl.comparator import build_comparator_netlist
-from repro.hw.rtl.multipliers import build_array_multiplier_netlist
+from repro.hw.rtl.multipliers import (
+    build_array_multiplier_netlist,
+    build_constant_mac_netlist,
+    build_constant_multiplier_netlist,
+)
 from repro.hw.rtl.mux import build_mux_tree_netlist
 from repro.hw.simulate import (
     ParallelDatapathSimulator,
@@ -157,6 +165,63 @@ def benchmark_gate_level(
 
 
 # --------------------------------------------------------------------------- #
+# Netlist optimization (pass pipeline) trajectory
+# --------------------------------------------------------------------------- #
+#: Coefficient magnitudes of the reference constant-MAC workload: a mix of
+#: zero, power-of-two and odd weights, the spread a real hardwired
+#: coefficient table shows.
+OPT_BENCH_WEIGHTS = (0, 1, 2, 5, 8, 11, 6, 3)
+
+
+def benchmark_optimization(
+    input_bits: int = 4, n_vectors: int = 256, seed: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Gate-count reduction and simulation speedup of the pass pipeline.
+
+    For each constant-datapath workload: optimize at level 2, record the
+    per-pass removals, check random-vector equivalence, and time the compiled
+    bit-parallel sweep on the raw vs the optimized program.
+    """
+    from repro.hw.opt import check_equivalence, optimize
+
+    netlists = {
+        "constant_mac_8x4": build_constant_mac_netlist(
+            list(OPT_BENCH_WEIGHTS), input_bits
+        ),
+        "constant_multiplier_11x5": build_constant_multiplier_netlist(11, 5),
+    }
+    rng = np.random.default_rng(seed)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, netlist in netlists.items():
+        result = optimize(netlist, level=2)
+        stats = result.stats
+        equivalent = check_equivalence(netlist, result.netlist, seed=seed)
+        vectors = rng.integers(0, 2, size=(n_vectors, len(netlist.inputs)))
+        raw_eval = evaluator_for(netlist)  # compile outside the timed region
+        opt_eval = evaluator_for(netlist, opt_level=2)
+        t_raw = _time(lambda: raw_eval.evaluate(vectors), repeats=3)
+        t_opt = _time(lambda: opt_eval.evaluate(vectors), repeats=3)
+        record: Dict[str, float] = {
+            "gates_raw": float(stats.gates_before),
+            "gates_optimized": float(stats.gates_after),
+            "gates_removed": float(stats.gates_removed),
+            "reduction_percent": stats.reduction_percent,
+            "equivalent": 1.0 if equivalent else 0.0,
+            "n_vectors": float(n_vectors),
+            "raw_eval_s": t_raw,
+            "optimized_eval_s": t_opt,
+            "eval_speedup": t_raw / t_opt,
+        }
+        for pass_name, removed in stats.removed_per_pass.items():
+            record[f"removed_{pass_name}"] = float(removed)
+        # Port buffers reinserted during reconstruction, so the per-pass
+        # removals minus this reconcile exactly with gates_removed.
+        record["port_buffers_added"] = float(stats.port_buffers_added)
+        results[name] = record
+    return results
+
+
+# --------------------------------------------------------------------------- #
 # Entry points
 # --------------------------------------------------------------------------- #
 def run_simulation_benchmark(fast: bool = True, seed: int = 0) -> Dict:
@@ -169,11 +234,13 @@ def run_simulation_benchmark(fast: bool = True, seed: int = 0) -> Dict:
     if fast:
         datapath = benchmark_datapath(n_samples=1000, seed=seed)
         gates = benchmark_gate_level(n_vectors=256, seed=seed)
+        netlist_opt = benchmark_optimization(n_vectors=256, seed=seed)
     else:
         datapath = benchmark_datapath(
             n_classifiers=26, n_features=32, n_samples=20000, seed=seed
         )
         gates = benchmark_gate_level(n_vectors=4096, seed=seed)
+        netlist_opt = benchmark_optimization(n_vectors=4096, seed=seed)
     return {
         "benchmark": "simulation_throughput",
         "config": "fast" if fast else "full",
@@ -181,9 +248,13 @@ def run_simulation_benchmark(fast: bool = True, seed: int = 0) -> Dict:
         "numpy": np.__version__,
         "datapath": datapath,
         "gate_level": gates,
+        "netlist_opt": netlist_opt,
         "min_speedups": {
             "datapath_batch": min(r["speedup"] for r in datapath.values()),
             "gate_level_bitsim": min(r["speedup"] for r in gates.values()),
+            "netlist_opt_reduction_percent": min(
+                r["reduction_percent"] for r in netlist_opt.values()
+            ),
         },
     }
 
@@ -221,5 +292,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for group in ("datapath", "gate_level"):
         for name, record in results[group].items():
             print(f"{group:10s} {name:22s} speedup {record['speedup']:8.1f}x")
+    for name, record in results["netlist_opt"].items():
+        print(
+            f"{'opt':10s} {name:22s} "
+            f"{int(record['gates_raw']):4d} -> {int(record['gates_optimized']):4d} gates "
+            f"({record['reduction_percent']:.1f}% removed, "
+            f"eval {record['eval_speedup']:.1f}x)"
+        )
     print(f"results written to {path}")
     return 0

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.hw.cells import CellLibrary
 from repro.hw.netlist import GateNetlist
+from repro.hw.pdk import EGFET_PDK
 from repro.perf.compile import (
     OP_AND2,
     OP_AND3,
@@ -216,15 +217,34 @@ class BitParallelEvaluator:
 
 
 def evaluator_for(
-    netlist: GateNetlist, library: Optional[CellLibrary] = None
+    netlist: GateNetlist,
+    library: Optional[CellLibrary] = None,
+    opt_level: int = 0,
 ) -> BitParallelEvaluator:
-    """Compile (cached) and wrap a netlist for bit-parallel evaluation."""
-    program = compile_netlist(netlist, library)
-    cached = getattr(netlist, "_bitsim_evaluator_cache", None)
+    """Compile (cached) and wrap a netlist for bit-parallel evaluation.
+
+    ``opt_level`` selects the :mod:`repro.hw.opt` pipeline level the program
+    is compiled at (0 = raw netlist, the oracle).  Evaluators are cached per
+    compiled program, so alternating between levels does not rewrap.
+    """
+    library = library or EGFET_PDK
+    program = compile_netlist(netlist, library, opt_level=opt_level)
+    cache = getattr(netlist, "_bitsim_evaluator_cache", None)
+    if not isinstance(cache, dict):
+        cache = {}
+        netlist._bitsim_evaluator_cache = cache
+    # Same key shape as the compile cache; the `is`-check on the program
+    # guards against a recycled library id after garbage collection.
+    signature = netlist.structural_signature()
+    key = (id(library), signature, int(opt_level))
+    cached = cache.get(key)
     if cached is not None and cached[0] is program:
         return cached[1]
     evaluator = BitParallelEvaluator(program)
-    netlist._bitsim_evaluator_cache = (program, evaluator)
+    # Evaluators wrapped for older structures can never be served again.
+    for stale in [k for k in cache if k[1] != signature]:
+        del cache[stale]
+    cache[key] = (program, evaluator)
     return evaluator
 
 
@@ -232,14 +252,17 @@ def simulate_netlist_batch(
     netlist: GateNetlist,
     input_bits: np.ndarray,
     library: Optional[CellLibrary] = None,
+    opt_level: int = 0,
 ) -> np.ndarray:
     """Bit-parallel sweep of a netlist: outputs for a batch of input vectors.
 
     ``input_bits`` has shape ``(n_vectors, n_inputs)`` with columns in
     ``netlist.inputs`` order; the result has shape ``(n_vectors, n_outputs)``
-    with columns in ``netlist.outputs`` order.
+    with columns in ``netlist.outputs`` order.  ``opt_level > 0`` evaluates
+    the pass-optimized program instead of the raw one (same outputs, fewer
+    ops — bit-exactness is enforced by the equivalence suite).
     """
-    return evaluator_for(netlist, library).evaluate(input_bits)
+    return evaluator_for(netlist, library, opt_level=opt_level).evaluate(input_bits)
 
 
 def words_to_ints(bits: np.ndarray, lanes: Sequence[int]) -> np.ndarray:

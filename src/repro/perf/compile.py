@@ -23,8 +23,12 @@ Lowering rules
   truth table (sum of minterms over scratch slots), so custom libraries keep
   working without touching the compiler.
 
-Programs are cached on the netlist instance and invalidated whenever the
-netlist grows, so repeated sweeps over the same netlist compile only once.
+Programs are cached on the netlist instance per (library, structure version,
+opt level) and invalidated by any structural mutation — growth through the
+builder API or an in-place rewrite announced via
+:meth:`~repro.hw.netlist.GateNetlist.note_structural_change` — so repeated
+sweeps over the same netlist compile only once.  ``opt_level > 0`` runs the
+:mod:`repro.hw.opt` pass pipeline before lowering.
 """
 
 from __future__ import annotations
@@ -89,7 +93,9 @@ _DIRECT_LOWERING = {
 #: direct-lowered, its declared ``function`` is checked against this over the
 #: full truth table; a library that redefines a standard name with different
 #: logic falls back to truth-table lowering instead of being miscompiled.
-_CANONICAL_SEMANTICS = {
+#: The optimization passes (:mod:`repro.hw.opt`) share this table when
+#: matching folded truth tables back onto library cells.
+CANONICAL_SEMANTICS = {
     "INV": lambda b: (1 - b[0],),
     "BUF": lambda b: (b[0],),
     "AND2": lambda b: (b[0] & b[1],),
@@ -111,9 +117,9 @@ _CANONICAL_SEMANTICS = {
 }
 
 
-def _matches_canonical(cell) -> bool:
+def cell_matches_canonical(cell) -> bool:
     """True when the cell's declared function equals the canonical lowering."""
-    canonical = _CANONICAL_SEMANTICS.get(cell.name)
+    canonical = CANONICAL_SEMANTICS.get(cell.name)
     if canonical is None:
         return False
     for assignment in range(1 << cell.n_inputs):
@@ -257,33 +263,56 @@ def _lower_truth_table(
 
 
 def compile_netlist(
-    netlist: GateNetlist, library: Optional[CellLibrary] = None
+    netlist: GateNetlist,
+    library: Optional[CellLibrary] = None,
+    opt_level: int = 0,
 ) -> CompiledProgram:
     """Compile a netlist into a :class:`CompiledProgram` (cached per netlist).
 
     The cache lives on the netlist instance and is keyed by the library
-    *object* and the netlist's structural signature (gate / input / output
-    counts), so growing the netlist or switching libraries recompiles
-    automatically.
+    *object*, the netlist's structural signature (mutation version plus
+    gate / input / output counts) and ``opt_level``, so growing the netlist,
+    rewriting it in place (via
+    :meth:`~repro.hw.netlist.GateNetlist.note_structural_change`) or
+    switching libraries recompiles automatically.
+
+    ``opt_level > 0`` runs the :mod:`repro.hw.opt` pass pipeline first and
+    compiles the optimized netlist: the program computes the same primary
+    outputs from fewer ops, but internal nets folded away by the passes no
+    longer appear in ``net_slots``.  The default (``0``) compiles the raw
+    netlist verbatim and remains the oracle the optimized path is checked
+    against.
     """
     library = library or EGFET_PDK
-    signature = (len(netlist.gates), len(netlist.inputs), len(netlist.outputs))
-    cached = getattr(netlist, "_compiled_program_cache", None)
+    signature = netlist.structural_signature()
+    cache = getattr(netlist, "_compiled_program_cache", None)
+    if cache is None:
+        cache = {}
+        netlist._compiled_program_cache = cache
     # Key on library *identity*: two libraries may share a name but differ in
-    # cell functions, so name equality is not enough to reuse a program.
-    if cached is not None and cached[0] is library and cached[1] == signature:
-        return cached[2]
+    # cell functions, so name equality is not enough to reuse a program.  The
+    # library object is kept in the value so its id() cannot be recycled.
+    key = (id(library), signature, int(opt_level))
+    cached = cache.get(key)
+    if cached is not None and cached[0] is library:
+        return cached[1]
+
+    source = netlist
+    if opt_level > 0:
+        from repro.hw.opt.pipeline import optimize
+
+        source = optimize(netlist, level=opt_level, library=library).netlist
 
     builder = _ProgramBuilder()
     net_slots: Dict[str, int] = {
         GateNetlist.CONST_ZERO: SLOT_ZERO,
         GateNetlist.CONST_ONE: SLOT_ONE,
     }
-    for net in netlist.inputs:
+    for net in source.inputs:
         net_slots[net] = builder.new_slot()
 
     canonical_cells: Dict[str, bool] = {}
-    for gate in netlist.gates:
+    for gate in source.gates:
         cell = library[gate.cell]
         if cell.function is None:
             raise NotImplementedError(f"cell {cell.name} has no simulation model")
@@ -293,7 +322,7 @@ def compile_netlist(
             net_slots[net] = slot
 
         if gate.cell not in canonical_cells:
-            canonical_cells[gate.cell] = _matches_canonical(cell)
+            canonical_cells[gate.cell] = cell_matches_canonical(cell)
         if not canonical_cells[gate.cell]:
             _lower_truth_table(builder, cell, in_slots, out_slots)
             continue
@@ -317,20 +346,25 @@ def compile_netlist(
             _lower_truth_table(builder, cell, in_slots, out_slots)
 
     program = CompiledProgram(
-        name=netlist.name,
+        name=source.name,
         n_slots=builder.n_slots,
         opcodes=np.asarray(builder.opcodes, dtype=np.int16),
         operands=np.asarray(builder.operands, dtype=np.int32).reshape(-1, 3),
         dsts=np.asarray(builder.dsts, dtype=np.int32),
-        input_names=list(netlist.inputs),
+        input_names=list(source.inputs),
         input_slots=np.asarray(
-            [net_slots[n] for n in netlist.inputs], dtype=np.int32
+            [net_slots[n] for n in source.inputs], dtype=np.int32
         ),
-        output_names=list(netlist.outputs),
+        output_names=list(source.outputs),
         output_slots=np.asarray(
-            [net_slots[n] for n in netlist.outputs], dtype=np.int32
+            [net_slots[n] for n in source.outputs], dtype=np.int32
         ),
         net_slots=net_slots,
     )
-    netlist._compiled_program_cache = (library, signature, program)
+    # Programs compiled for older structures can never be served again (the
+    # version only moves forward), so evict them: the cache holds one entry
+    # per (library, opt_level) of the *current* structure.
+    for stale in [k for k in cache if k[1] != signature]:
+        del cache[stale]
+    cache[key] = (library, program)
     return program

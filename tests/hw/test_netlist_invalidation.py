@@ -1,0 +1,121 @@
+"""Structural-mutation cache invalidation on :class:`GateNetlist`.
+
+The compiled-program, evaluator and optimizer caches key on the netlist's
+structural signature (mutation version + counts).  Growth through the
+builder API always invalidated them; these tests pin down the harder case —
+*in-place rewrites that keep every count identical* — which must invalidate
+too once announced via :meth:`GateNetlist.note_structural_change`.
+"""
+
+import numpy as np
+
+from repro.hw.netlist import GateNetlist
+from repro.hw.opt import optimize
+from repro.hw.simulate import simulate_combinational
+from repro.perf.bitsim import evaluator_for, simulate_netlist_batch
+from repro.perf.compile import compile_netlist
+
+
+def two_gate_netlist():
+    n = GateNetlist("mut")
+    a = n.add_input("a")
+    b = n.add_input("b")
+    (x,) = n.add_gate("AND2", [a, b])
+    (y,) = n.add_gate("OR2", [x, a])
+    n.mark_output(y)
+    return n
+
+
+class TestStructuralSignature:
+    def test_builder_growth_changes_the_signature(self):
+        n = GateNetlist("sig")
+        s0 = n.structural_signature()
+        n.add_input("a")
+        s1 = n.structural_signature()
+        n.add_gate("INV", ["a"])
+        s2 = n.structural_signature()
+        assert len({s0, s1, s2}) == 3
+
+    def test_in_place_rewrite_changes_signature_only_when_announced(self):
+        n = two_gate_netlist()
+        before = n.structural_signature()
+        n.gates[0].cell = "XOR2"  # same counts, different logic
+        assert n.structural_signature() == before  # silent mutation: undetected
+        n.note_structural_change()
+        assert n.structural_signature() != before
+
+
+class TestCompiledProgramInvalidation:
+    def test_same_size_rewrite_recompiles_after_announcement(self):
+        n = two_gate_netlist()
+        first = compile_netlist(n)
+        n.gates[0].cell = "XOR2"
+        n.note_structural_change()
+        second = compile_netlist(n)
+        assert second is not first
+        # And the new program really computes XOR-based logic.
+        out = simulate_combinational(n, {"a": 1, "b": 1})
+        assert out[n.outputs[0]] == 1  # (1 ^ 1) | 1
+        assert out[n.gates[0].outputs[0]] == 0
+
+    def test_unannounced_rewrite_keeps_the_stale_program(self):
+        # Documents the contract: mutate -> must call note_structural_change.
+        n = two_gate_netlist()
+        first = compile_netlist(n)
+        n.gates[0].cell = "XOR2"
+        assert compile_netlist(n) is first
+
+    def test_evaluator_cache_follows_the_program(self):
+        n = two_gate_netlist()
+        ev1 = evaluator_for(n)
+        n.gates[0].cell = "NAND2"
+        n.note_structural_change()
+        ev2 = evaluator_for(n)
+        assert ev2 is not ev1
+        vectors = np.array([[1, 1], [0, 1]])
+        out = simulate_netlist_batch(n, vectors)
+        assert list(out[:, 0]) == [1, 1]  # NAND(1,1)|1 = 1, NAND(0,1)|0 = 1
+
+    def test_rewired_pins_recompile_after_announcement(self):
+        n = GateNetlist("rewire")
+        a = n.add_input("a")
+        b = n.add_input("b")
+        (y,) = n.add_gate("AND2", [a, a])
+        n.mark_output(y)
+        assert simulate_combinational(n, {"a": 0, "b": 1})[y] == 0
+        n.gates[0].inputs = (b, b)
+        n.note_structural_change()
+        assert simulate_combinational(n, {"a": 0, "b": 1})[y] == 1
+
+
+class TestOptimizerCacheInvalidation:
+    def test_same_size_rewrite_reoptimizes_after_announcement(self):
+        n = GateNetlist("opt")
+        a = n.add_input("a")
+        (x,) = n.add_gate("AND2", [a, GateNetlist.CONST_ONE])  # folds to wire
+        (y,) = n.add_gate("INV", [x])
+        n.mark_output(y)
+        first = optimize(n, level=2)
+        assert first.netlist.cell_counts() == {"INV": 1}
+        n.gates[0].inputs = (a, GateNetlist.CONST_ZERO)  # now folds to const
+        n.note_structural_change()
+        second = optimize(n, level=2)
+        assert second is not first
+        out = simulate_netlist_batch(second.netlist, np.array([[0], [1]]))
+        assert list(out[:, 0]) == [1, 1]  # INV(0) regardless of a
+
+    def test_driver_and_fanout_maps_rebuild(self):
+        n = two_gate_netlist()
+        assert n.driver_of(n.gates[1].outputs[0]).name == n.gates[1].name
+        # Swap the two gates' roles in place (same counts).
+        g0, g1 = n.gates
+        n.gates = [
+            type(g0)(name="r0", cell="AND2", inputs=("a", "b"), outputs=("p",)),
+            type(g0)(name="r1", cell="OR2", inputs=("p", "a"), outputs=("q",)),
+        ]
+        n.outputs = ["q"]
+        n.note_structural_change()
+        assert n.driver_of("q").name == "r1"
+        assert n.driver_of("p").name == "r0"
+        assert n.fanout_of("p") == 1
+        assert n.fanout_of("q") == 1

@@ -1,0 +1,54 @@
+"""CLI ``--opt-level`` knob: optimized-vs-raw gate counts in the reports."""
+
+import pytest
+
+from repro.cli import main_flow, main_table1
+
+FAST_ARGS = ["--fast", "--samples", "220", "--no-cache"]
+
+
+class TestTable1OptLevel:
+    def test_opt_level_section_is_printed(self, capsys):
+        exit_code = main_table1(
+            ["--datasets", "redwine", "--opt-level", "2"] + FAST_ARGS
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Constant-MAC datapath netlists" in out
+        assert "gates raw ->" in out
+        assert "% removed" in out
+
+    def test_opt_level_zero_reports_raw_counts(self, capsys):
+        exit_code = main_table1(
+            ["--datasets", "redwine", "--opt-level", "0"] + FAST_ARGS
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "pass pipeline level 0" in out
+        assert "  0.0% removed" in out  # raw report: nothing optimized away
+
+    def test_without_opt_level_no_section(self, capsys):
+        exit_code = main_table1(["--datasets", "redwine"] + FAST_ARGS)
+        assert exit_code == 0
+        assert "Constant-MAC datapath netlists" not in capsys.readouterr().out
+
+    def test_invalid_opt_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main_table1(["--datasets", "redwine", "--opt-level", "7"] + FAST_ARGS)
+
+
+class TestFlowOptLevel:
+    def test_flow_reports_gate_reduction(self, capsys):
+        exit_code = main_flow(["redwine", "ours", "--opt-level", "2"] + FAST_ARGS)
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "netlist optimization:" in out
+        assert "gates raw ->" in out
+
+    def test_flow_mlp_has_no_linear_datapath(self, capsys):
+        exit_code = main_flow(
+            ["redwine", "mlp_parallel", "--opt-level", "1"] + FAST_ARGS
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "no hardwired linear datapath" in out

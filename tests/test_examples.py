@@ -58,6 +58,11 @@ class TestExamples:
         assert (tmp_path / "sequential_svm_whitewine.v").exists()
         verilog = (tmp_path / "sequential_svm_redwine.v").read_text()
         assert "module" in verilog and "endmodule" in verilog
+        # The optimized structural constant-MAC datapath is exported too.
+        assert "structural MAC datapath" in out
+        assert "% removed, bit-exact" in out
+        mac = (tmp_path / "mac_datapath_redwine.v").read_text()
+        assert "module" in mac and "endmodule" in mac
 
     def test_manufacturability_study(self, capsys):
         out = run_example("manufacturability_study.py", ["--dataset", "redwine"], capsys)
