@@ -1,0 +1,62 @@
+"""Perf-smoke probes for the batch serving subsystem.
+
+Runs the same measurement as ``scripts/bench_serving.py`` (fewer requests so
+the tier-1 suite stays fast), refreshes ``BENCH_serving.json`` and asserts
+the floors every PR must keep:
+
+* micro-batched concurrent serving reaches >=5x the one-request-at-a-time
+  throughput (the whole point of the micro-batching queue);
+* served class ids are bit-identical to the design's direct ``run_batch``;
+* micro-batches actually coalesce (mean batch size well above 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.bench import run_serving_benchmark, write_benchmark
+
+#: The acceptance floor: micro-batched throughput vs the serial path.
+SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def serving_results():
+    """One shared benchmark run (trains the fast-config model once)."""
+    return run_serving_benchmark(n_requests=2048, n_serial=256)
+
+
+@pytest.mark.perf_smoke
+def test_microbatched_throughput_floor(serving_results):
+    """Concurrent micro-batched serving is >=5x one-request-at-a-time."""
+    best = serving_results["best"]
+    assert best["speedup_vs_serial"] >= SPEEDUP_FLOOR, (
+        f"micro-batched serving reached only "
+        f"{best['speedup_vs_serial']:.1f}x the serial path "
+        f"(floor: {SPEEDUP_FLOOR}x; "
+        f"serial {serving_results['serial']['requests_per_s']:.0f} req/s, "
+        f"batched {best['requests_per_s']:.0f} req/s)"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_served_predictions_bit_identical(serving_results):
+    """Every served class id equals the direct ``run_batch`` answer."""
+    assert serving_results["bit_identical_to_run_batch"]
+
+
+@pytest.mark.perf_smoke
+def test_microbatches_coalesce(serving_results):
+    """Under concurrent load the queue actually builds multi-sample batches."""
+    largest = max(serving_results["batched"], key=lambda m: m["max_batch_size"])
+    assert largest["mean_batch_size"] > 1.5, (
+        f"mean micro-batch size {largest['mean_batch_size']:.2f}: requests "
+        "are not coalescing"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_record_serving_benchmark(serving_results):
+    """Refresh the tracked ``BENCH_serving.json`` artifact."""
+    path = write_benchmark(serving_results)
+    assert path.is_file()

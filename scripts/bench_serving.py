@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_serving.json`` (serving-throughput trajectory).
+
+Usage (from anywhere — output lands at the repository root)::
+
+    PYTHONPATH=src python scripts/bench_serving.py
+    PYTHONPATH=src python scripts/bench_serving.py --requests 8192 --batch-sizes 64 256
+
+Records requests/s for one-request-at-a-time serving vs micro-batched
+concurrent serving at several ``max_batch_size`` ceilings, next to the
+measured batch occupancy and a bit-exactness check against the design's
+direct ``run_batch``.  The perf-smoke benchmark
+(``pytest benchmarks/test_perf_serving.py``) runs the same measurements and
+asserts the >=5x micro-batching floor, so serving regressions surface in CI.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.serve.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (the CI docs job).
+
+Two classes of rot this catches:
+
+1. **Dead links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must resolve to an existing file or directory (anchors
+   are stripped; absolute ``http(s)://`` / ``mailto:`` links are skipped).
+2. **Phantom flags** — every ``--flag`` mentioned in ``docs/cli.md`` must
+   be defined in ``src/repro/cli.py``, and every flag ``cli.py`` defines
+   must be documented in ``docs/cli.md``, so the CLI reference can never
+   drift from the implementation in either direction.
+
+Usage (from anywhere)::
+
+    python scripts/check_docs.py
+
+Exits non-zero listing every problem found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose relative links must resolve.
+LINKED_DOCS = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+#: The flag reference and its implementation.
+CLI_DOC = REPO_ROOT / "docs" / "cli.md"
+CLI_SOURCE = REPO_ROOT / "src" / "repro" / "cli.py"
+
+#: ``[text](target)`` markdown links (images included via the leading ``!?``).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: Long-option tokens (``--jobs``, ``--max-batch-size``, ...).
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9]*(?:-[a-z0-9]+)*")
+#: Flag definitions inside add_argument calls.
+_ARGDEF_RE = re.compile(r"add_argument\(\s*\"(--[a-z0-9-]+)\"")
+
+
+def check_links(paths: List[Path]) -> List[str]:
+    """Every relative link target must exist on disk."""
+    problems: List[str] = []
+    for path in paths:
+        if not path.is_file():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: file missing")
+            continue
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            for target in _LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{line_no}: "
+                        f"dead link -> {target}"
+                    )
+    return problems
+
+
+def documented_flags() -> Set[str]:
+    """Every long option mentioned anywhere in the CLI reference."""
+    return set(_FLAG_RE.findall(CLI_DOC.read_text()))
+
+
+def implemented_flags() -> Set[str]:
+    """Every long option cli.py defines via add_argument."""
+    return set(_ARGDEF_RE.findall(CLI_SOURCE.read_text()))
+
+
+def check_cli_flags() -> List[str]:
+    """The CLI reference and cli.py must agree on the flag set, both ways."""
+    problems: List[str] = []
+    documented = documented_flags()
+    implemented = implemented_flags()
+    for flag in sorted(documented - implemented):
+        problems.append(
+            f"docs/cli.md documents {flag}, but src/repro/cli.py does not "
+            "define it"
+        )
+    for flag in sorted(implemented - documented):
+        problems.append(
+            f"src/repro/cli.py defines {flag}, but docs/cli.md does not "
+            "document it"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check_links(LINKED_DOCS) + check_cli_flags()
+    if problems:
+        print(f"{len(problems)} documentation problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    n_links = sum(
+        len(_LINK_RE.findall(p.read_text())) for p in LINKED_DOCS if p.is_file()
+    )
+    print(
+        f"docs OK: {len(LINKED_DOCS)} files, {n_links} links checked, "
+        f"{len(implemented_flags())} CLI flags consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

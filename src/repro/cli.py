@@ -1,11 +1,15 @@
 """Command-line entry points.
 
-Two console scripts are installed with the package:
+Three commands, run from a checkout with ``PYTHONPATH=src`` (no
+installation required; see ``docs/cli.md`` for the full flag reference):
 
 * ``repro-table1`` — regenerate the paper's Table I (optionally a subset of
   datasets) and print measured-vs-published rows plus the aggregate claims.
 * ``repro-flow`` — run the full design flow for one (dataset, model) pair and
   print the detailed report, optionally dumping the generated Verilog.
+* ``repro-serve`` (also ``python -m repro.serve``) — load trained designs
+  through the persistent flow cache and answer predict requests over an HTTP
+  JSON endpoint with micro-batched inference (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -207,6 +211,104 @@ def main_flow(argv: Optional[List[str]] = None) -> int:
         with open(args.verilog, "w", encoding="utf-8") as handle:
             handle.write(design.to_verilog())
         print(f"Verilog written to {args.verilog}")
+    return 0
+
+
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-serve`` (also ``python -m repro.serve``).
+
+    Loads every requested model through the persistent flow cache (training
+    only the ones never seen before), then serves the HTTP JSON endpoint
+    until interrupted.  Routes: ``POST /predict``, ``GET /stats``,
+    ``GET /models``, ``GET /healthz`` — see ``docs/serving.md``.
+    """
+    parser = argparse.ArgumentParser(
+        description="Serve trained designs over an HTTP JSON endpoint with "
+        "micro-batched inference."
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["redwine/ours"],
+        help="models to preload and serve, each '<dataset>/<kind>' "
+        "(other models load lazily on first request)",
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="interface the HTTP endpoint binds (default: loopback only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port of the HTTP endpoint (0 = pick an ephemeral port)",
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=256,
+        help="micro-batch ceiling: concurrent requests coalesce into "
+        "vectorized batches of at most this many samples",
+    )
+    parser.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=2.0,
+        help="how long a partial micro-batch waits for stragglers before "
+        "flushing (0 = flush as soon as the queue drains)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard cold preload training across this many worker processes "
+        "(0 = all cores)",
+    )
+    _add_common_arguments(parser)
+    args = parser.parse_args(argv)
+    config = _build_config(args)
+
+    from repro.serve import ModelRegistry, ModelServer, build_http_server
+    from repro.serve.registry import parse_model_name
+
+    try:
+        for name in args.models:
+            parse_model_name(name)
+    except ValueError as error:
+        parser.error(str(error))
+
+    registry = ModelRegistry(
+        config=config,
+        cache=_build_cache(args),
+        jobs=args.jobs,
+        opt_level=args.opt_level,
+    )
+    print(f"loading {len(args.models)} model(s): {', '.join(args.models)}")
+    registry.preload(args.models)
+    server = ModelServer(
+        registry,
+        max_batch_size=args.max_batch_size,
+        max_latency_ms=args.max_latency_ms,
+    )
+    for name in args.models:
+        server.lane(name)  # open a serving lane per preloaded model
+
+    httpd = build_http_server(server, host=args.host, port=args.port)
+    host, port = httpd.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(max_batch_size={args.max_batch_size}, "
+        f"max_latency_ms={args.max_latency_ms:g})"
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight requests)")
+    finally:
+        httpd.server_close()
+        server.shutdown(drain=True)
     return 0
 
 

@@ -59,7 +59,13 @@ _FINGERPRINT: Optional[str] = None
 
 
 def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``.
+
+    Example::
+
+        os.environ["REPRO_CACHE_DIR"] = "/tmp/repro-cache"
+        default_cache_dir()                  # PosixPath('/tmp/repro-cache')
+    """
     override = os.environ.get(CACHE_DIR_ENV)
     if override:
         return Path(override).expanduser()
@@ -74,6 +80,10 @@ def code_fingerprint() -> str:
     entry; so does switching the Python interpreter or the numpy build,
     since training numerics can change with either.  This is deliberately
     coarse: correctness over hit rate.  Computed once per process.
+
+    Example::
+
+        key = code_fingerprint()     # 64 hex chars; changes with any edit
     """
     global _FINGERPRINT
     if _FINGERPRINT is None:
@@ -111,6 +121,13 @@ class FlowResultCache:
     max_entries:
         Size bound: after a store, the oldest entries beyond this count are
         evicted (by modification time).
+
+    Example::
+
+        cache = FlowResultCache("/tmp/repro-cache")
+        result = run_flow_cached("redwine", "ours", cache=cache)  # trains once
+        cache.has("redwine", "ours", FlowConfig())                # True
+        cache.clear()                                             # drop all
     """
 
     def __init__(
@@ -214,12 +231,23 @@ class FlowResultCache:
 
 
 def cache_disabled_by_env() -> bool:
-    """Whether ``$REPRO_NO_CACHE`` turns the persistent layer off."""
+    """Whether ``$REPRO_NO_CACHE`` turns the persistent layer off.
+
+    Example::
+
+        os.environ["REPRO_NO_CACHE"] = "1"
+        cache_disabled_by_env()              # True -> default_cache() is None
+    """
     return os.environ.get(NO_CACHE_ENV, "").strip().lower() in ("1", "true", "yes")
 
 
 def default_cache() -> Optional[FlowResultCache]:
-    """The default persistent cache, or ``None`` when disabled via env."""
+    """The default persistent cache, or ``None`` when disabled via env.
+
+    Example::
+
+        cache = default_cache()              # FlowResultCache(~/.cache/repro)
+    """
     if cache_disabled_by_env():
         return None
     return FlowResultCache()
@@ -232,7 +260,13 @@ CacheSpec = Union[None, bool, FlowResultCache]
 
 
 def resolve_cache(cache: CacheSpec) -> Optional[FlowResultCache]:
-    """Normalise a ``cache=`` argument to a cache instance or ``None``."""
+    """Normalise a ``cache=`` argument to a cache instance or ``None``.
+
+    Example::
+
+        resolve_cache(False)                 # None (caching disabled)
+        resolve_cache(None)                  # the default persistent cache
+    """
     if isinstance(cache, FlowResultCache):
         return cache
     if cache is False:
@@ -241,7 +275,12 @@ def resolve_cache(cache: CacheSpec) -> Optional[FlowResultCache]:
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``jobs=`` argument: ``None``/1 serial, 0 = all cores."""
+    """Normalise a ``jobs=`` argument: ``None``/1 serial, 0 = all cores.
+
+    Example::
+
+        resolve_jobs(None), resolve_jobs(0)  # (1, os.cpu_count())
+    """
     if jobs is None:
         return 1
     if jobs < 0:
@@ -262,6 +301,11 @@ def run_flow_cached(
     Lookup order: in-process ``_FLOW_CACHE`` -> on-disk cache (hit warms the
     in-process layer) -> train via :func:`run_flow` (result persisted).
     A one-pair grid, so both entry points share one caching implementation.
+
+    Example::
+
+        result = run_flow_cached("redwine", "ours", fast_config())
+        result.report.accuracy_percent       # Table I row, cached next time
     """
     return execute_flow_grid([(dataset_name, kind)], config=config, cache=cache)[
         (dataset_name, kind)
@@ -306,6 +350,12 @@ def execute_flow_grid(
     dict
         ``(dataset, kind) -> FlowResult`` for every requested pair, complete
         regardless of which layer produced each result.
+
+    Example::
+
+        grid = [("redwine", "ours"), ("cardio", "ours")]
+        results = execute_flow_grid(grid, config=fast_config(), jobs=0)
+        results[("redwine", "ours")].report  # bit-identical to the serial run
     """
     config = config or FlowConfig()
     disk = resolve_cache(cache)

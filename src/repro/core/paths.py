@@ -1,0 +1,67 @@
+"""Repository-root resolution shared by every artifact-writing surface.
+
+The benchmark recorders (``BENCH_simulation.json``, ``BENCH_flow.json``,
+``BENCH_serving.json``) and the docs checker all write or read files that
+live at the repository root.  The original scripts resolved those paths
+relative to the *current working directory*, so running
+``python scripts/bench_flow.py`` from anywhere but the checkout root
+scattered ``BENCH_*.json`` files around the filesystem.  This module is the
+one place that knows how to find the root, regardless of cwd.
+
+Example::
+
+    from repro.core.paths import bench_output_path, repo_root
+
+    repo_root()                          # Path(".../repo") for a checkout
+    bench_output_path("BENCH_flow.json") # .../repo/BENCH_flow.json
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+#: Files that must all be present to accept a directory as the repo root.
+#: ``pytest.ini`` alone is far too common in unrelated projects (an installed
+#: copy of this package could sit inside someone else's checkout), so the
+#: repo-specific ``ROADMAP.md`` must be there too.
+_ROOT_MARKERS = ("ROADMAP.md", "pytest.ini")
+
+
+def repo_root() -> Optional[Path]:
+    """The repository root directory, or ``None`` outside a checkout.
+
+    Walks upward from this source file looking for a directory carrying
+    *all* repository markers, so it works no matter where the process was
+    started — scripts, tests and in-checkout imports all resolve the same
+    root, while an installed copy of the package (whose parents are not this
+    repo) resolves ``None`` instead of hijacking a foreign project.
+
+    Example::
+
+        >>> root = repo_root()
+        >>> root is None or (root / "ROADMAP.md").is_file()
+        True
+    """
+    here = Path(__file__).resolve()
+    for candidate in here.parents:
+        if all((candidate / marker).is_file() for marker in _ROOT_MARKERS):
+            return candidate
+    return None
+
+
+def bench_output_path(filename: str) -> Path:
+    """Absolute path of a benchmark artifact at the repository root.
+
+    Falls back to a cwd-relative path only when no checkout root can be
+    found (e.g. the package was installed site-wide without the repo).
+
+    Example::
+
+        >>> bench_output_path("BENCH_serving.json").name
+        'BENCH_serving.json'
+    """
+    root = repo_root()
+    if root is not None:
+        return root / filename
+    return Path(filename)

@@ -35,7 +35,12 @@ CONSTANTS = (CONST_ZERO, CONST_ONE)
 
 @dataclass
 class IRGate:
-    """One mutable cell instance; ``inputs`` may hold unresolved aliases."""
+    """One mutable cell instance; ``inputs`` may hold unresolved aliases.
+
+    Example::
+
+        IRGate(name="u1", cell="AND2", inputs=["a", "b"], outputs=["y"])
+    """
 
     name: str
     cell: str
@@ -45,7 +50,14 @@ class IRGate:
 
 @dataclass
 class IRNetlist:
-    """Gate list + alias map the passes rewrite in place."""
+    """Gate list + alias map the passes rewrite in place.
+
+    Example::
+
+        ir = IRNetlist.from_netlist(netlist)    # snapshot -> mutable view
+        constant_propagation(ctx, ir)           # passes rewrite ir in place
+        optimized = ir.to_netlist()             # back to a GateNetlist
+    """
 
     name: str
     inputs: List[str]

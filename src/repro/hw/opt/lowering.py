@@ -32,6 +32,11 @@ def netlist_to_block(
     is extracted by longest-path analysis over the gate graph; activity
     defaults to 0.5 toggles per gate per evaluation (the same convention as
     :meth:`GateNetlist.to_block`), which the caller may override.
+
+    Example::
+
+        block = netlist_to_block(netlist, level=2)     # exact optimized counts
+        area = AreaAnalyzer(EGFET_PDK).analyze(block)  # priced like any block
     """
     from repro.hw.timing import longest_path_cells
 

@@ -62,6 +62,11 @@ class PassContext:
     with it when the library has no canonical ``BUF`` cell, because
     reconstructing an aliased-away output then has no port buffer to fall
     back on.
+
+    Example::
+
+        ctx = PassContext(EGFET_PDK, opaque_cells=DEFAULT_OPAQUE_CELLS)
+        removed = constant_propagation(ctx, ir)   # passes share one context
     """
 
     def __init__(
@@ -215,7 +220,16 @@ def _fold_plan(
 
 
 def constant_propagation(ctx: PassContext, ir: IRNetlist) -> int:
-    """Fold gates fed by constants (or duplicate nets) through truth tables."""
+    """Fold gates fed by constants (or duplicate nets) through truth tables.
+
+    Returns the net number of gates removed (a fold that decomposes a cell
+    into smaller ones can make this negative for a single call).
+
+    Example::
+
+        # AND2(a, 0) folds to constant 0; FA(a, b, 0) shrinks to HA(a, b).
+        changed = constant_propagation(ctx, IRNetlist.from_netlist(netlist))
+    """
     changes = 0
     kept: List[IRGate] = []
     for gate in ir.gates:
@@ -278,7 +292,15 @@ def constant_propagation(ctx: PassContext, ir: IRNetlist) -> int:
 # Buffer / double-inverter collapsing
 # --------------------------------------------------------------------------- #
 def buffer_collapse(ctx: PassContext, ir: IRNetlist) -> int:
-    """Alias away BUF gates and the second inverter of INV-INV chains."""
+    """Alias away BUF gates and the second inverter of INV-INV chains.
+
+    Returns the number of gates removed.
+
+    Example::
+
+        # y = BUF(x) disappears; INV(INV(x)) rewires consumers back to x.
+        removed = buffer_collapse(ctx, ir)
+    """
     changes = 0
     kept: List[IRGate] = []
     drivers = ir.driver_map()
@@ -308,7 +330,16 @@ def buffer_collapse(ctx: PassContext, ir: IRNetlist) -> int:
 # Structural hashing (common-subexpression elimination)
 # --------------------------------------------------------------------------- #
 def structural_hashing(ctx: PassContext, ir: IRNetlist) -> int:
-    """Merge gates with identical cell type and (resolved) input nets."""
+    """Merge gates with identical cell type and (resolved) input nets.
+
+    Commutative cells (:data:`COMMUTATIVE_CELLS`) canonicalise their input
+    order first, so ``AND2(a, b)`` and ``AND2(b, a)`` merge.  Returns the
+    number of gates removed.
+
+    Example::
+
+        removed = structural_hashing(ctx, ir)   # classic CSE over the IR
+    """
     changes = 0
     kept: List[IRGate] = []
     seen: Dict[tuple, IRGate] = {}
@@ -339,7 +370,14 @@ def structural_hashing(ctx: PassContext, ir: IRNetlist) -> int:
 # Dead-gate elimination
 # --------------------------------------------------------------------------- #
 def dead_gate_elimination(ctx: PassContext, ir: IRNetlist) -> int:
-    """Drop every gate not reverse-reachable from a primary output."""
+    """Drop every gate not reverse-reachable from a primary output.
+
+    Returns the number of gates removed.
+
+    Example::
+
+        removed = dead_gate_elimination(ctx, ir)   # run last in every level
+    """
     live = {ir.resolve(out) for out in ir.outputs}
     kept_reversed: List[IRGate] = []
     changes = 0

@@ -65,6 +65,7 @@ def simulate_combinational_batch(
     netlist: GateNetlist,
     input_bits: np.ndarray,
     library: Optional[CellLibrary] = None,
+    opt_level: int = 0,
 ) -> np.ndarray:
     """Bit-parallel sweep: primary-output values for a batch of input vectors.
 
@@ -72,11 +73,13 @@ def simulate_combinational_batch(
     ``netlist.inputs`` order; returns ``(n_vectors, n_outputs)`` 0/1 values
     with columns in ``netlist.outputs`` order.  64 vectors are evaluated per
     ``uint64`` word — this is the fast path for randomized verification
-    sweeps (see :mod:`repro.perf`).
+    sweeps (see :mod:`repro.perf`).  ``opt_level > 0`` evaluates the
+    :mod:`repro.hw.opt` pass-optimized program instead of the raw one (same
+    outputs, fewer ops; 0 = raw, the oracle).
     """
     from repro.perf.bitsim import simulate_netlist_batch
 
-    return simulate_netlist_batch(netlist, input_bits, library)
+    return simulate_netlist_batch(netlist, input_bits, library, opt_level=opt_level)
 
 
 def simulate_combinational_reference(

@@ -47,20 +47,10 @@ from repro.hw.simulate import (
 from repro.perf.bitsim import evaluator_for
 
 
-def _default_output_path() -> Path:
-    """``BENCH_simulation.json`` at the repo root when running from a checkout.
-
-    The tracked trajectory file lives next to ROADMAP.md; falling back to the
-    current directory keeps the script usable from an installed package.
-    """
-    candidate = Path(__file__).resolve().parents[3]
-    if (candidate / "ROADMAP.md").is_file():
-        return candidate / "BENCH_simulation.json"
-    return Path("BENCH_simulation.json")
-
+from repro.core.paths import bench_output_path as _bench_output_path
 
 #: Default location of the recorded benchmark results.
-DEFAULT_OUTPUT = _default_output_path()
+DEFAULT_OUTPUT = _bench_output_path("BENCH_simulation.json")
 
 
 def _time(fn, repeats: int = 3) -> float:

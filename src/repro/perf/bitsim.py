@@ -55,6 +55,11 @@ def pack_vectors(bits: np.ndarray) -> Tuple[np.ndarray, int]:
     Returns ``(packed, n_vectors)`` where ``packed`` has shape
     ``(n_lines, n_words)`` and bit ``s`` of ``packed[l, w]`` is
     ``bits[64*w + s, l]``.
+
+    Example::
+
+        packed, n = pack_vectors(np.eye(3, dtype=int))   # 3 vectors, 3 lines
+        packed.shape, n                                  # ((3, 1), 3)
     """
     bits = np.asarray(bits)
     if bits.ndim != 2:
@@ -70,7 +75,14 @@ def pack_vectors(bits: np.ndarray) -> Tuple[np.ndarray, int]:
 
 
 def unpack_vectors(packed: np.ndarray, n_vectors: int) -> np.ndarray:
-    """Inverse of :func:`pack_vectors`: ``(n_lines, n_words)`` -> bit matrix."""
+    """Inverse of :func:`pack_vectors`: ``(n_lines, n_words)`` -> bit matrix.
+
+    Example::
+
+        bits = np.array([[1, 0, 1], [0, 1, 1]])
+        packed, n = pack_vectors(bits)
+        assert np.array_equal(unpack_vectors(packed, n), bits)
+    """
     packed = np.asarray(packed, dtype=np.uint64)
     bits = (packed[:, :, None] >> _BIT_POSITIONS) & np.uint64(1)
     n_lines = packed.shape[0]
@@ -78,7 +90,13 @@ def unpack_vectors(packed: np.ndarray, n_vectors: int) -> np.ndarray:
 
 
 class BitParallelEvaluator:
-    """Executes a :class:`CompiledProgram` on packed ``uint64`` vector words."""
+    """Executes a :class:`CompiledProgram` on packed ``uint64`` vector words.
+
+    Example::
+
+        evaluator = BitParallelEvaluator(compile_netlist(netlist))
+        out_bits = evaluator.evaluate(input_bits)    # (n_vectors, n_outputs)
+    """
 
     def __init__(self, program: CompiledProgram) -> None:
         self.program = program
@@ -226,6 +244,12 @@ def evaluator_for(
     ``opt_level`` selects the :mod:`repro.hw.opt` pipeline level the program
     is compiled at (0 = raw netlist, the oracle).  Evaluators are cached per
     compiled program, so alternating between levels does not rewrap.
+
+    Example::
+
+        evaluator = evaluator_for(netlist, opt_level=2)
+        evaluator.evaluate(vectors)          # bit-parallel sweep
+        evaluator.evaluate_single([0, 1, 1]) # scalar fast path
     """
     library = library or EGFET_PDK
     program = compile_netlist(netlist, library, opt_level=opt_level)
@@ -261,6 +285,12 @@ def simulate_netlist_batch(
     with columns in ``netlist.outputs`` order.  ``opt_level > 0`` evaluates
     the pass-optimized program instead of the raw one (same outputs, fewer
     ops — bit-exactness is enforced by the equivalence suite).
+
+    Example::
+
+        netlist = build_ripple_adder_netlist(4)
+        vectors = rng.integers(0, 2, size=(256, len(netlist.inputs)))
+        outputs = simulate_netlist_batch(netlist, vectors, opt_level=2)
     """
     return evaluator_for(netlist, library, opt_level=opt_level).evaluate(input_bits)
 
@@ -271,6 +301,10 @@ def words_to_ints(bits: np.ndarray, lanes: Sequence[int]) -> np.ndarray:
     Convenience for decoding multi-bit buses out of :meth:`evaluate` results:
     ``words_to_ints(out_bits, [i0, i1, ...])`` returns
     ``sum_k out_bits[:, ik] << k`` per vector.
+
+    Example::
+
+        sums = words_to_ints(out_bits, [0, 1, 2, 3])   # 4-bit LSB-first bus
     """
     bits = np.asarray(bits, dtype=np.int64)
     value = np.zeros(bits.shape[0], dtype=np.int64)

@@ -158,6 +158,12 @@ class CompiledProgram:
     net_slots:
         Slot of every *named* net (constants, inputs and gate outputs);
         scratch slots carry no name.
+
+    Example::
+
+        program = compile_netlist(build_ripple_adder_netlist(8))
+        program.n_ops, program.n_inputs      # flat op count, port count
+        BitParallelEvaluator(program)        # ready for packed evaluation
     """
 
     name: str
@@ -282,6 +288,13 @@ def compile_netlist(
     longer appear in ``net_slots``.  The default (``0``) compiles the raw
     netlist verbatim and remains the oracle the optimized path is checked
     against.
+
+    Example::
+
+        netlist = build_constant_mac_netlist([0, 2, 5], 4)
+        raw = compile_netlist(netlist)                 # the oracle program
+        opt = compile_netlist(netlist, opt_level=2)    # same outputs, fewer ops
+        assert opt.n_ops <= raw.n_ops
     """
     library = library or EGFET_PDK
     signature = netlist.structural_signature()

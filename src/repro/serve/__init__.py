@@ -1,0 +1,69 @@
+"""Batch inference serving on top of the compiled simulators.
+
+The request-facing layer of the repository (the ROADMAP's "batch serving
+API on top of ``run_batch``" open item): load trained designs through the
+persistent flow cache, accept single and bulk predict requests — over HTTP
+or in process — and coalesce concurrent traffic through an async
+micro-batching queue onto the PR 1 single-matmul / bit-parallel hot paths.
+
+Layering (see ``docs/architecture.md`` and ``docs/serving.md``):
+
+* :mod:`repro.serve.registry` — ``"<dataset>/<kind>"`` -> trained design,
+  via :func:`repro.core.flow_executor.run_flow_cached` (train-or-load);
+* :mod:`repro.serve.model` — the uniform vectorized prediction surface
+  (:class:`ServedModel`, bit-identical to the design's ``run_batch``);
+* :mod:`repro.serve.batching` — the micro-batching queue
+  (:class:`MicroBatcher`, ``max_batch_size`` / ``max_latency_ms``);
+* :mod:`repro.serve.server` — :class:`ModelServer`: per-model lanes,
+  stats, graceful shutdown;
+* :mod:`repro.serve.http` / :mod:`repro.serve.client` — the stdlib HTTP
+  endpoint (``repro-serve``) and the in-process / HTTP clients;
+* :mod:`repro.serve.stats` — requests/s, batch occupancy, p50/p99 latency
+  (the ``/stats`` route);
+* :mod:`repro.serve.bench` — the ``BENCH_serving.json`` throughput
+  benchmark and its >=5x micro-batching floor.
+
+Example::
+
+    from repro.core.design_flow import fast_config
+    from repro.serve import Client, ModelRegistry, ModelServer
+
+    registry = ModelRegistry(config=fast_config())
+    with ModelServer(registry) as server:
+        client = Client(server)
+        client.predict("redwine/ours", [0.5] * 11)   # 11 redwine features
+"""
+
+from repro.serve.batching import BatcherClosed, MicroBatcher
+from repro.serve.bench import run_serving_benchmark
+from repro.serve.client import Client, HTTPClient, HTTPError
+from repro.serve.http import ServingHTTPServer, build_http_server, serve_in_thread
+from repro.serve.model import ServedModel
+from repro.serve.registry import ModelRegistry, parse_model_name
+from repro.serve.server import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_LATENCY_MS,
+    ModelServer,
+    ServerClosed,
+)
+from repro.serve.stats import StatsRecorder
+
+__all__ = [
+    "BatcherClosed",
+    "MicroBatcher",
+    "run_serving_benchmark",
+    "Client",
+    "HTTPClient",
+    "HTTPError",
+    "ServingHTTPServer",
+    "build_http_server",
+    "serve_in_thread",
+    "ServedModel",
+    "ModelRegistry",
+    "parse_model_name",
+    "DEFAULT_MAX_BATCH_SIZE",
+    "DEFAULT_MAX_LATENCY_MS",
+    "ModelServer",
+    "ServerClosed",
+    "StatsRecorder",
+]

@@ -1,0 +1,13 @@
+"""``python -m repro.serve`` — the ``repro-serve`` console entry point.
+
+Example::
+
+    PYTHONPATH=src python -m repro.serve --fast --port 8000
+"""
+
+import sys
+
+from repro.cli import main_serve
+
+if __name__ == "__main__":
+    sys.exit(main_serve())

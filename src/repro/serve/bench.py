@@ -1,0 +1,274 @@
+"""Serving-throughput benchmark: micro-batching vs one-request-at-a-time.
+
+Measures the request-facing layer end to end — validation, the micro-batch
+queue, the vectorized ``run_batch`` kernel, stats — and records the
+trajectory to ``BENCH_serving.json``:
+
+* **serial** — single predict requests issued strictly one at a time (each
+  waits for its answer before the next is submitted): the no-coalescing
+  baseline, dominated by per-request queue handoff and a batch-of-1 kernel;
+* **batched** — the same number of single-sample requests offered
+  concurrently from several client threads at each ``max_batch_size``: the
+  requests coalesce into few vectorized micro-batches, which is the whole
+  point of the subsystem.  Recorded per batch size with the measured
+  occupancy, so throughput-vs-batch-size is tracked PR over PR;
+* a **bit-exactness** check that the served class ids equal the design's
+  direct ``run_batch`` answers on the same rows.
+
+Entry points: ``python scripts/bench_serving.py`` (writes the JSON) and
+``pytest benchmarks/test_perf_serving.py`` (asserts the >=5x floor).
+
+Example::
+
+    results = run_serving_benchmark(n_requests=2048)
+    results["best"]["speedup_vs_serial"]      # >= 5.0 on any healthy host
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.design_flow import fast_config
+from repro.core.flow_executor import run_flow_cached
+from repro.core.paths import bench_output_path
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ModelServer
+
+#: Default location of the recorded results (repository root).
+DEFAULT_OUTPUT = bench_output_path("BENCH_serving.json")
+
+#: Micro-batch ceilings the throughput sweep measures.
+DEFAULT_BATCH_SIZES = (8, 32, 256)
+
+#: Client threads offering the concurrent load.
+DEFAULT_CLIENT_THREADS = 4
+
+
+def _request_rows(X: np.ndarray, n_requests: int) -> np.ndarray:
+    """Cycle the test split into ``n_requests`` single-sample rows."""
+    reps = int(np.ceil(n_requests / max(X.shape[0], 1)))
+    return np.tile(X, (reps, 1))[:n_requests]
+
+
+def _measure_serial(server: ModelServer, name: str, rows: np.ndarray) -> Dict:
+    """One-request-at-a-time baseline over the full serving stack."""
+    start = time.perf_counter()
+    for row in rows:
+        server.predict(name, row)
+    elapsed = time.perf_counter() - start
+    return {
+        "n_requests": int(rows.shape[0]),
+        "seconds": elapsed,
+        "requests_per_s": rows.shape[0] / elapsed,
+    }
+
+
+def _measure_batched(
+    server: ModelServer,
+    name: str,
+    rows: np.ndarray,
+    n_threads: int,
+    burst: int = 64,
+) -> Dict:
+    """Concurrent single-sample load: ``n_threads`` clients, all rows.
+
+    Each client offers its share of the traffic in bursts of ``burst``
+    single-sample requests (every row keeps its own future), mimicking a
+    connection handler that drains its accept queue into the server.
+    """
+    futures: List = [None] * rows.shape[0]
+    chunks = np.array_split(np.arange(rows.shape[0]), n_threads)
+
+    def client(indices: np.ndarray) -> None:
+        for lo in range(0, indices.size, burst):
+            window = indices[lo : lo + burst]
+            for i, future in zip(
+                window, server.submit_many(name, rows[window[0] : window[-1] + 1])
+            ):
+                futures[i] = future
+
+    threads = [
+        threading.Thread(target=client, args=(chunk,), daemon=True)
+        for chunk in chunks
+        if chunk.size
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    ids = np.asarray([future.result()[0] for future in futures], dtype=np.int64)
+    elapsed = time.perf_counter() - start
+
+    snapshot = server.stats()["models"][name]
+    return {
+        "n_requests": int(rows.shape[0]),
+        "client_threads": n_threads,
+        "seconds": elapsed,
+        "requests_per_s": rows.shape[0] / elapsed,
+        "mean_batch_size": snapshot["mean_batch_size"],
+        "batch_occupancy": snapshot["batch_occupancy"],
+        "ids": ids,
+    }
+
+
+def run_serving_benchmark(
+    dataset: str = "redwine",
+    kind: str = "ours",
+    n_requests: int = 4096,
+    n_serial: int = 512,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    client_threads: int = DEFAULT_CLIENT_THREADS,
+    repeats: int = 3,
+) -> Dict:
+    """Benchmark the serving subsystem on one flow-trained model.
+
+    The model is trained (or loaded) once through the standard flow path;
+    every configuration then serves real test-split feature vectors.
+
+    Parameters
+    ----------
+    dataset / kind:
+        Which Table I design to serve (fast flow configuration).
+    n_requests / n_serial:
+        Concurrent requests per batched measurement and serial baseline
+        requests (the serial path is slow by construction, so fewer).
+    batch_sizes:
+        ``max_batch_size`` values of the throughput sweep.
+    client_threads:
+        Concurrent client threads offering the batched load.
+    repeats:
+        Each batched point is measured ``repeats`` times and the best run
+        kept (thread-scheduling noise otherwise dominates single runs);
+        bit-exactness is asserted on *every* run, not just the best.
+
+    Example::
+
+        results = run_serving_benchmark(n_requests=2048)
+        results["best"]["speedup_vs_serial"]     # >= 5 on any healthy host
+        results["bit_identical_to_run_batch"]    # always True
+    """
+    config = fast_config()
+    # cache=False keeps the benchmark hermetic (no writes to the user cache);
+    # the in-process flow cache still makes the registry load instant.
+    result = run_flow_cached(dataset, kind, config, cache=False)
+    name = f"{dataset}/{kind}"
+    registry = ModelRegistry(config=config, cache=False)
+    rows = _request_rows(result.split.X_test, n_requests)
+
+    # Ground truth straight off the vectorized datapath simulator.
+    expected_ids = np.asarray(result.design.simulate_batch(rows), dtype=np.int64)
+
+    with ModelServer(registry, max_batch_size=1, max_latency_ms=0.0) as serial_server:
+        serial = _measure_serial(serial_server, name, rows[:n_serial])
+
+    batched: List[Dict] = []
+    bit_identical = True
+    for max_batch_size in batch_sizes:
+        best_point: Optional[Dict] = None
+        for _ in range(max(repeats, 1)):
+            with ModelServer(
+                registry, max_batch_size=max_batch_size, max_latency_ms=0.5
+            ) as server:
+                measured = _measure_batched(server, name, rows, client_threads)
+            ids = measured.pop("ids")
+            bit_identical = bit_identical and bool(np.array_equal(ids, expected_ids))
+            if best_point is None or measured["requests_per_s"] > best_point["requests_per_s"]:
+                best_point = measured
+        best_point["max_batch_size"] = int(max_batch_size)
+        best_point["speedup_vs_serial"] = (
+            best_point["requests_per_s"] / serial["requests_per_s"]
+        )
+        batched.append(best_point)
+
+    best = max(batched, key=lambda m: m["requests_per_s"])
+    return {
+        "benchmark": "serving",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": float(os.cpu_count() or 1),
+        "model": name,
+        "backend": registry.get(name).backend,
+        "serial": serial,
+        "batched": batched,
+        "best": {
+            "max_batch_size": best["max_batch_size"],
+            "requests_per_s": best["requests_per_s"],
+            "speedup_vs_serial": best["speedup_vs_serial"],
+        },
+        "bit_identical_to_run_batch": bit_identical,
+    }
+
+
+def write_benchmark(results: Dict, path: Union[str, Path, None] = None) -> Path:
+    """Serialize a results document to ``BENCH_serving.json``.
+
+    Example::
+
+        write_benchmark(run_serving_benchmark())   # repo-root JSON artifact
+    """
+    path = Path(path) if path is not None else DEFAULT_OUTPUT
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI used by ``scripts/bench_serving.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Measure serving throughput and record BENCH_serving.json."
+    )
+    parser.add_argument("--dataset", default="redwine", help="dataset to serve")
+    parser.add_argument(
+        "--kind", default="ours", help="model kind to serve (Table I row family)"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=4096, help="concurrent requests per sweep point"
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_BATCH_SIZES),
+        help="max_batch_size values to sweep",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    results = run_serving_benchmark(
+        dataset=args.dataset,
+        kind=args.kind,
+        n_requests=args.requests,
+        batch_sizes=args.batch_sizes,
+    )
+    path = write_benchmark(results, args.output)
+    print(
+        f"serial  {results['serial']['requests_per_s']:10.0f} req/s "
+        f"(one request at a time)"
+    )
+    for point in results["batched"]:
+        print(
+            f"batched {point['requests_per_s']:10.0f} req/s "
+            f"(max_batch_size={point['max_batch_size']}, "
+            f"occupancy={point['batch_occupancy']:.2f}, "
+            f"{point['speedup_vs_serial']:.1f}x vs serial)"
+        )
+    print(
+        "bit-identical to run_batch: "
+        f"{results['bit_identical_to_run_batch']}"
+    )
+    print(f"results written to {path}")
+    return 0

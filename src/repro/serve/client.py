@@ -1,0 +1,145 @@
+"""Clients for the serving subsystem: in-process and HTTP.
+
+Both clients speak the same three verbs — ``predict`` (single sample),
+``predict_many`` (bulk) and ``stats`` — and return the same JSON-shaped
+dicts, so tests and benchmarks can swap transports freely:
+
+* :class:`Client` calls the :class:`~repro.serve.server.ModelServer`
+  directly (no sockets), which is what the test suite and the serving
+  benchmark use;
+* :class:`HTTPClient` drives the real endpoint over ``urllib`` (stdlib),
+  which is what an external consumer of ``repro-serve`` sees.
+
+Example::
+
+    client = Client(model_server)
+    client.predict("redwine/ours", x)["prediction"]
+    remote = HTTPClient("http://127.0.0.1:8000")
+    remote.predict("redwine/ours", list(x))["prediction"]
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.serve.server import ModelServer
+
+
+class Client:
+    """In-process client: the ModelServer API with the HTTP response shape.
+
+    Example::
+
+        with ModelServer(registry) as server:
+            client = Client(server)
+            out = client.predict_many("redwine/ours", X_test)
+            out["predictions"]          # decoded labels, list
+    """
+
+    def __init__(self, server: ModelServer) -> None:
+        self.server = server
+
+    def predict(self, model: str, features: Union[Sequence, np.ndarray]) -> Dict:
+        """Single-sample predict; returns the ``/predict`` response dict."""
+        return self.server.predict(model, features)
+
+    def predict_many(self, model: str, batch: Union[Sequence, np.ndarray]) -> Dict:
+        """Bulk predict through the micro-batching queue."""
+        return self.server.predict_many(model, batch)
+
+    def submit(self, model: str, batch: Union[Sequence, np.ndarray]):
+        """Asynchronous submit; returns a future of class ids.
+
+        The concurrency primitive the serving benchmark drives: thousands
+        of outstanding futures coalesce into few vectorized micro-batches.
+        """
+        return self.server.submit(model, batch)
+
+    def submit_many(self, model: str, rows: Union[Sequence, np.ndarray]):
+        """Burst submit: one future per row, amortized bookkeeping."""
+        return self.server.submit_many(model, rows)
+
+    def stats(self) -> Dict:
+        """The server's ``/stats`` document."""
+        return self.server.stats()
+
+    def models(self) -> Dict:
+        """The server's ``/models`` document."""
+        return {"models": self.server.models()}
+
+
+class HTTPError(RuntimeError):
+    """A non-2xx response from the serving endpoint.
+
+    Example::
+
+        try:
+            client.predict("redwine/ours", [0.1])   # wrong feature count
+        except HTTPError as error:
+            error.status                            # 400
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class HTTPClient:
+    """Minimal stdlib client for the ``repro-serve`` HTTP endpoint.
+
+    Example::
+
+        client = HTTPClient("http://127.0.0.1:8000", timeout=5.0)
+        client.healthz()["status"]                  # "ok"
+        client.predict("redwine/ours", [0.2] * 11)  # decoded prediction dict
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: Union[Dict, None] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = error.reason
+            raise HTTPError(error.code, message) from error
+
+    # ------------------------------------------------------------------ #
+    def predict(self, model: str, features: Sequence) -> Dict:
+        """POST ``/predict`` with one sample's features."""
+        return self._request("/predict", {"model": model, "features": list(features)})
+
+    def predict_many(self, model: str, batch: Sequence) -> Dict:
+        """POST ``/predict`` with a bulk ``batch`` of samples."""
+        rows = [list(row) for row in batch]
+        return self._request("/predict", {"model": model, "batch": rows})
+
+    def stats(self) -> Dict:
+        """GET ``/stats``."""
+        return self._request("/stats")
+
+    def models(self) -> Dict:
+        """GET ``/models``."""
+        return self._request("/models")
+
+    def healthz(self) -> Dict:
+        """GET ``/healthz``."""
+        return self._request("/healthz")

@@ -1,0 +1,61 @@
+"""Fixtures for the serving tests.
+
+Serving tests must not train on the request path, so the served model is
+built directly from the session-scoped ``sequential_design`` fixture (the
+small 4-class problem) and installed into the registry by hand — exactly
+what :meth:`ModelRegistry.register` exists for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.model import ServedModel
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ModelServer
+
+#: Registry name of the hand-registered test model.
+MODEL_NAME = "small-problem/ours"
+
+
+def make_served_model(design, name: str = MODEL_NAME, batch_fn=None) -> ServedModel:
+    """A ServedModel over the test design (optionally with a wrapped kernel)."""
+    return ServedModel(
+        name=name,
+        dataset="small-problem",
+        kind="ours",
+        design=design,
+        batch_fn=batch_fn if batch_fn is not None else design.simulate_batch,
+        classes=np.asarray(design.model.classes),
+        n_features=design.n_features,
+        backend="datapath.run_batch",
+    )
+
+
+@pytest.fixture()
+def served_model(sequential_design) -> ServedModel:
+    """The small sequential SVM design wrapped for serving."""
+    return make_served_model(sequential_design)
+
+
+@pytest.fixture()
+def registry(served_model) -> ModelRegistry:
+    """A registry with the test model pre-registered (no training paths)."""
+    reg = ModelRegistry()
+    reg.register(served_model)
+    return reg
+
+
+@pytest.fixture()
+def server(registry):
+    """A ModelServer over the test registry, shut down after the test."""
+    srv = ModelServer(registry, max_batch_size=16, max_latency_ms=1.0)
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture()
+def request_rows(small_split) -> np.ndarray:
+    """Real-valued test-split rows the served model accepts."""
+    return np.asarray(small_split.X_test, dtype=float)

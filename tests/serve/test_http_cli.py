@@ -1,0 +1,193 @@
+"""The HTTP endpoint and the ``repro-serve`` CLI, end to end."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import Client, HTTPClient, HTTPError
+from repro.serve.http import serve_in_thread
+from repro.serve.server import ModelServer
+
+from .conftest import MODEL_NAME
+
+
+@pytest.fixture()
+def endpoint(server):
+    """The test server bound to an ephemeral loopback port."""
+    httpd = serve_in_thread(server, port=0)
+    host, port = httpd.server_address[:2]
+    yield HTTPClient(f"http://{host}:{port}", timeout=30.0)
+    httpd.shutdown()
+    httpd.server_close()
+
+
+def test_http_predict_bit_identical_to_run_batch(
+    endpoint, sequential_design, request_rows
+):
+    expected = sequential_design.simulate_batch(request_rows)
+    labels = sequential_design.model.classes[expected]
+
+    single = endpoint.predict(MODEL_NAME, list(request_rows[0]))
+    assert single["class_id"] == int(expected[0])
+    assert single["prediction"] == labels[0].item()
+
+    bulk = endpoint.predict_many(MODEL_NAME, request_rows.tolist())
+    assert bulk["class_ids"] == [int(i) for i in expected]
+    assert bulk["predictions"] == labels.tolist()
+    assert bulk["n_samples"] == request_rows.shape[0]
+
+
+def test_http_and_in_process_clients_agree(endpoint, server, request_rows):
+    local = Client(server)
+    remote = endpoint
+    a = local.predict_many(MODEL_NAME, request_rows[:7])
+    b = remote.predict_many(MODEL_NAME, request_rows[:7].tolist())
+    assert a["class_ids"] == b["class_ids"]
+    assert a["predictions"] == b["predictions"]
+
+
+def test_http_empty_batch(endpoint):
+    out = endpoint.predict_many(MODEL_NAME, [])
+    assert out["class_ids"] == []
+    assert out["n_samples"] == 0
+
+
+def test_http_stats_and_models_routes(endpoint, request_rows):
+    endpoint.predict(MODEL_NAME, list(request_rows[0]))
+    stats = endpoint.stats()
+    assert MODEL_NAME in stats["models"]
+    snap = stats["models"][MODEL_NAME]
+    for key in (
+        "requests_total",
+        "requests_per_s",
+        "batch_occupancy",
+        "latency_p50_ms",
+        "latency_p99_ms",
+    ):
+        assert key in snap
+    assert snap["requests_total"] >= 1
+
+    models = endpoint.models()["models"]
+    assert [m["name"] for m in models] == [MODEL_NAME]
+    assert models[0]["backend"] == "datapath.run_batch"
+    assert endpoint.healthz()["status"] == "ok"
+
+
+def test_http_error_codes(endpoint, request_rows):
+    with pytest.raises(HTTPError) as err:
+        endpoint.predict(MODEL_NAME, [0.1, 0.2])  # wrong feature count
+    assert err.value.status == 400
+
+    with pytest.raises(HTTPError) as err:
+        endpoint.predict("not-a-model-name", list(request_rows[0]))
+    assert err.value.status == 400
+
+    with pytest.raises(HTTPError) as err:
+        endpoint._request("/predict", {"model": MODEL_NAME})  # neither key
+    assert err.value.status == 400
+
+    with pytest.raises(HTTPError) as err:
+        endpoint._request(
+            "/predict",
+            {
+                "model": MODEL_NAME,
+                "features": list(request_rows[0]),
+                "batch": [list(request_rows[0])],
+            },
+        )
+    assert err.value.status == 400
+
+    with pytest.raises(HTTPError) as err:
+        endpoint._request("/nope")
+    assert err.value.status == 404
+
+
+def test_http_shutdown_returns_503(registry, request_rows):
+    server = ModelServer(registry, max_batch_size=8, max_latency_ms=0.0)
+    httpd = serve_in_thread(server, port=0)
+    host, port = httpd.server_address[:2]
+    client = HTTPClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        assert client.healthz()["status"] == "ok"
+        server.shutdown(drain=True)
+        with pytest.raises(HTTPError) as err:
+            client.healthz()
+        assert err.value.status == 503
+        with pytest.raises(HTTPError) as err:
+            client.predict(MODEL_NAME, list(request_rows[0]))
+        assert err.value.status == 503
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        server.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def test_cli_rejects_malformed_model_names(capsys):
+    from repro.cli import main_serve
+
+    with pytest.raises(SystemExit) as exit_info:
+        main_serve(["--models", "redwine-ours", "--port", "0"])
+    assert exit_info.value.code == 2  # argparse usage error, before training
+
+
+def test_cli_serves_http_end_to_end(monkeypatch, tiny_flow_config):
+    """Boot the real repro-serve CLI on an ephemeral port and query it."""
+    import repro.cli as cli
+    import repro.serve.http as serve_http
+
+    captured = {}
+    original = serve_http.ServingHTTPServer.serve_forever
+
+    def capturing_serve_forever(self, *args, **kwargs):
+        captured["httpd"] = self
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(
+        serve_http.ServingHTTPServer, "serve_forever", capturing_serve_forever
+    )
+    # Route the CLI onto the small test configuration so the preload trains
+    # (or reuses) the tiny flow rather than the paper-sized one.
+    monkeypatch.setattr(cli, "fast_config", lambda: tiny_flow_config)
+
+    thread = threading.Thread(
+        target=cli.main_serve,
+        args=(
+            [
+                "--models",
+                "redwine/ours",
+                "--port",
+                "0",
+                "--fast",
+                "--no-cache",
+                "--max-batch-size",
+                "32",
+            ],
+        ),
+        daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 120.0
+    while "httpd" not in captured and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert "httpd" in captured, "CLI server did not come up"
+    httpd = captured["httpd"]
+    host, port = httpd.server_address[:2]
+    client = HTTPClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        assert client.healthz()["status"] == "ok"
+        models = client.models()["models"]
+        assert [m["name"] for m in models] == ["redwine/ours"]
+        n_features = models[0]["n_features"]
+        out = client.predict("redwine/ours", [0.5] * n_features)
+        assert out["model"] == "redwine/ours"
+        assert out["class_id"] in range(len(models[0]["classes"]))
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=30.0)
+    assert not thread.is_alive()
