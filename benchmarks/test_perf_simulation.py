@@ -24,6 +24,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Acceptance floors from the ISSUE; measured headroom is >5x above both.
 MIN_DATAPATH_SPEEDUP = 20.0
 MIN_GATE_LEVEL_SPEEDUP = 10.0
+#: Minimum speedup of the bit-parallel sequential (multi-cycle) engine over
+#: the interpreted per-cycle walk on 64+ vector batches.
+MIN_SEQUENTIAL_SPEEDUP = 10.0
 #: Minimum gate-count reduction the pass pipeline must achieve on the
 #: hardwired constant-datapath workloads (measured: >60% on the MAC).
 MIN_OPT_REDUCTION_PERCENT = 20.0
@@ -55,6 +58,21 @@ def test_gate_level_bitsim_speedup_floor(bench_results):
 
 
 @pytest.mark.perf_smoke
+def test_sequential_engine_speedup_floor(bench_results):
+    """The stateful bit-parallel engine must beat the interpreted per-cycle
+    walk on every clocked workload — bit-exactly (the cycle-by-cycle
+    equivalence sweep runs inside the benchmark)."""
+    assert bench_results["sequential_sim"], "no sequential workloads ran"
+    for name, record in bench_results["sequential_sim"].items():
+        assert record["equivalent"] == 1.0, f"{name}: sequential trace diverged"
+        assert record["n_vectors"] >= 64
+        assert record["speedup"] >= MIN_SEQUENTIAL_SPEEDUP, (
+            f"{name}: sequential engine only {record['speedup']:.1f}x over "
+            f"the per-cycle interpreted walk (floor {MIN_SEQUENTIAL_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.perf_smoke
 def test_netlist_optimization_reduction_floor(bench_results):
     """The pass pipeline must remove gates on every constant datapath —
     bit-exactly (the equivalence sweep runs inside the benchmark)."""
@@ -74,3 +92,4 @@ def test_record_throughput_trajectory(bench_results):
     assert path.exists()
     assert bench_results["min_speedups"]["datapath_batch"] > 1.0
     assert bench_results["min_speedups"]["gate_level_bitsim"] > 1.0
+    assert bench_results["min_speedups"]["sequential_sim"] > 1.0

@@ -84,6 +84,20 @@ def _build_cache(args: argparse.Namespace) -> CacheSpec:
     return None
 
 
+def _report_verification(table, attribute: str, label: str, claim: str) -> int:
+    """Print one verification summary block; returns 1 on any mismatch."""
+    checked = [e for e in table.entries if getattr(e, attribute) is not None]
+    failed = [e for e in checked if not getattr(e, attribute)]
+    print()
+    print(
+        f"{label}: {len(checked) - len(failed)}/{len(checked)} "
+        f"proposed designs {claim}."
+    )
+    for entry in failed:
+        print(f"  MISMATCH: {entry.dataset}")
+    return 1 if failed else 0
+
+
 def main_table1(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro-table1``."""
     parser = argparse.ArgumentParser(
@@ -103,6 +117,14 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         "design against its integer model (bit-exact, vectorized)",
     )
     parser.add_argument(
+        "--verify-sequential",
+        action="store_true",
+        help="also clock every proposed design's explicit gate-level netlist "
+        "(counter + MUX storage + MAC + voter) over its test set on the "
+        "bit-parallel sequential engine and check per-cycle bit-exact "
+        "agreement with the behavioural oracle trace",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -117,6 +139,7 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         datasets=args.datasets,
         config=config,
         verify_hardware=args.verify_hardware,
+        verify_sequential=args.verify_sequential,
         jobs=args.jobs,
         cache=_build_cache(args),
         opt_level=args.opt_level,
@@ -127,17 +150,19 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         print()
         print(optimization)
     if args.verify_hardware:
-        checked = [e for e in table.entries if e.hardware_verified is not None]
-        failed = [e for e in checked if not e.hardware_verified]
-        print()
-        print(
-            f"Hardware verification: {len(checked) - len(failed)}/{len(checked)} "
-            "proposed designs match their integer model bit-exactly."
+        exit_code |= _report_verification(
+            table,
+            "hardware_verified",
+            "Hardware verification",
+            "match their integer model bit-exactly",
         )
-        for entry in failed:
-            print(f"  MISMATCH: {entry.dataset}")
-        if failed:
-            exit_code = 1
+    if args.verify_sequential:
+        exit_code |= _report_verification(
+            table,
+            "sequential_verified",
+            "Sequential gate-level verification",
+            "match the behavioural oracle cycle by cycle",
+        )
     print()
     aggregates = table1_aggregates(table)
     print("Aggregate claims (measured vs paper):")

@@ -102,9 +102,11 @@ class SequentialSVMDesign:
             model.weight_codes, model.bias_codes
         )
         # Structural caches: the circuit is immutable once constructed, so the
-        # component blocks and the composed design are built at most once.
+        # component blocks, the composed design and the explicit gate-level
+        # top are built at most once.
         self._component_blocks: Optional[dict] = None
         self._hardware_block: Optional[HardwareBlock] = None
+        self._gate_netlist: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -202,6 +204,30 @@ class SequentialSVMDesign:
             notes=f"storage={self.storage_style}, OvR={self.model.strategy == 'ovr'}",
         )
 
+    def gate_netlist(self):
+        """The complete clocked circuit as an explicit gate-level netlist.
+
+        Built once and cached: counter + MUX storage + shared MAC + voter
+        composed from the :mod:`repro.hw.rtl` generators with this model's
+        coefficients hardwired
+        (:func:`~repro.hw.rtl.svm_top.build_sequential_svm_netlist`).
+        Returns ``(netlist, ports)``; simulate it with
+        :func:`repro.perf.seqsim.simulate_sequential_batch` (the behavioural
+        :class:`~repro.hw.simulate.SequentialDatapathSimulator` is the
+        oracle it is asserted bit-exact against, see
+        :meth:`verify_gate_level`).
+        """
+        from repro.hw.rtl.svm_top import build_sequential_svm_netlist
+
+        if self._gate_netlist is None:
+            self._gate_netlist = build_sequential_svm_netlist(
+                self.model.weight_codes,
+                self.model.bias_codes,
+                input_bits=self.model.input_format.total_bits,
+                name=f"sequential_svm_{self.dataset or 'design'}".replace("-", "_"),
+            )
+        return self._gate_netlist
+
     # ------------------------------------------------------------------ #
     # Functional behaviour
     # ------------------------------------------------------------------ #
@@ -230,6 +256,51 @@ class SequentialSVMDesign:
         hw_ids = self.simulate_batch(X)
         sw_ids = self.model.predict_ids(X)
         return bool(np.array_equal(hw_ids, sw_ids))
+
+    def simulate_gate_level(self, X: np.ndarray, opt_level: int = 0) -> np.ndarray:
+        """Class ids predicted by clocking the explicit gate-level netlist.
+
+        Every sample's quantized codes are held on the input pins for
+        ``n_classifiers`` cycles through the bit-parallel sequential engine;
+        the prediction is the best-class register's load value during the
+        final cycle.  ``opt_level > 0`` simulates the pass-optimized
+        combinational regions instead of the raw ones.
+        """
+        from repro.perf.bitsim import words_to_ints
+        from repro.perf.seqsim import simulate_sequential_batch
+
+        netlist, ports = self.gate_netlist()
+        codes = self.model.quantize_inputs(np.asarray(X))
+        if codes.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        trace = simulate_sequential_batch(
+            netlist,
+            ports.input_matrix(codes),
+            cycles=ports.n_classifiers,
+            library=self.library,
+            opt_level=opt_level,
+        )
+        return words_to_ints(trace[-1], ports.pred_lanes())
+
+    def verify_gate_level(self, X: np.ndarray, opt_level: int = 0) -> bool:
+        """Assert the gate-level netlist bit-exact against the cycle oracle.
+
+        Checks every cycle of every sample: score, best score, best class
+        and comparator-fired must match the behavioural
+        :class:`~repro.hw.simulate.SequentialDatapathSimulator` trace.
+        """
+        from repro.hw.rtl.svm_top import verify_sequential_svm_netlist
+
+        netlist, ports = self.gate_netlist()
+        codes = self.model.quantize_inputs(np.asarray(X))
+        return verify_sequential_svm_netlist(
+            netlist,
+            ports,
+            codes,
+            oracle=self.simulator,
+            library=self.library,
+            opt_level=opt_level,
+        )
 
     # ------------------------------------------------------------------ #
     # Export

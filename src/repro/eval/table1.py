@@ -44,6 +44,11 @@ class Table1Entry:
     #: Result of the cycle-accurate hardware-vs-model check (None = not run /
     #: not applicable for this model kind).
     hardware_verified: Optional[bool] = None
+    #: Result of the gate-level sequential check: the proposed design's
+    #: explicit clocked netlist simulated cycle by cycle on the bit-parallel
+    #: engine and compared against the behavioural oracle trace (None = not
+    #: run / not applicable for this model kind).
+    sequential_verified: Optional[bool] = None
     #: Netlist-optimizer statistics for this design's hardwired constant-MAC
     #: datapath (None = ``opt_level`` not requested / model has no linear
     #: coefficient table).  ``opt_stats.gates_before`` is the raw explicit
@@ -124,6 +129,7 @@ def generate_table1(
     include_reference: bool = True,
     models: Optional[Sequence[str]] = None,
     verify_hardware: bool = False,
+    verify_sequential: bool = False,
     jobs: Optional[int] = None,
     cache: CacheSpec = None,
     opt_level: Optional[int] = None,
@@ -147,6 +153,14 @@ def generate_table1(
         proposed-design test set and record bit-exact agreement with the
         integer model in :attr:`Table1Entry.hardware_verified`.  Cheap since
         the batch simulation path is vectorized (see :mod:`repro.perf`).
+    verify_sequential:
+        Additionally clock every proposed design's explicit gate-level
+        netlist (counter + MUX storage + MAC + voter,
+        :meth:`~repro.core.sequential_svm.SequentialSVMDesign.gate_netlist`)
+        over its test set on the bit-parallel sequential engine
+        (:mod:`repro.perf.seqsim`) and record per-cycle bit-exact agreement
+        with the behavioural oracle trace in
+        :attr:`Table1Entry.sequential_verified`.
     jobs:
         Shard flow runs across this many worker processes (``None``/1 =
         serial, 0 = all cores).  Training seeds are fixed, so the sharded
@@ -184,6 +198,9 @@ def generate_table1(
         verified: Optional[bool] = None
         if verify_hardware and kind == "ours":
             verified = bool(result.design.verify_against_model(result.split.X_test))
+        seq_verified: Optional[bool] = None
+        if verify_sequential and kind == "ours":
+            seq_verified = bool(result.design.verify_gate_level(result.split.X_test))
         entry = Table1Entry(
             dataset=dataset,
             model=model,
@@ -191,6 +208,7 @@ def generate_table1(
             reference=reference,
             flow_result=result,
             hardware_verified=verified,
+            sequential_verified=seq_verified,
         )
         if opt_level is not None:
             _attach_opt_stats(entry, opt_level)

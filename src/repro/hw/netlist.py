@@ -196,12 +196,23 @@ class GateNetlist:
 
     Nets are identified by string names.  Primary inputs/outputs are declared
     explicitly; constant nets ``"1'b0"`` and ``"1'b1"`` are always available.
+
+    Clocked netlists use the two-phase flip-flop API: :meth:`declare_dff`
+    announces a register output (so combinational logic may read it before
+    the data input exists) and :meth:`bind_dff` closes the feedback loop —
+    the only way to express e.g. a counter whose increment logic reads its
+    own state.  Power-on values live in :attr:`dff_init` (per instance,
+    default 0); the sequential engine (:mod:`repro.perf.seqsim`) and the
+    interpreted reference walk both honour them.
     """
 
     name: str
     inputs: List[str] = field(default_factory=list)
     outputs: List[str] = field(default_factory=list)
     gates: List[GateInstance] = field(default_factory=list)
+    #: Power-on value (0/1) of each flip-flop, keyed by instance name.
+    #: Instances absent from the map reset to 0.
+    dff_init: Dict[str, int] = field(default_factory=dict)
     _net_drivers: Dict[str, str] = field(default_factory=dict)
     _instance_names: set = field(default_factory=set)
     #: Lazily-built (signature, gate-by-name map, fanout counter) caches so
@@ -273,6 +284,74 @@ class GateNetlist:
         self._instance_names.add(inst_name)
         self._structure_version += 1
         return gate.outputs
+
+    # -- sequential construction ------------------------------------------- #
+    def declare_dff(
+        self,
+        q: str,
+        name: Optional[str] = None,
+        cell: str = "DFF",
+        init: int = 0,
+    ) -> str:
+        """Declare a flip-flop output ``q`` with its data input still open.
+
+        The returned net is immediately readable by combinational logic,
+        which is what makes feedback loops (counter increment, accumulator
+        update) expressible in the append-only builder.  The instance stays
+        *unbound* until :meth:`bind_dff` connects its D pin; compiling or
+        simulating a netlist with unbound flip-flops raises.
+        """
+        index = len(self.gates)
+        inst_name = name or f"u{index}"
+        if inst_name in self._instance_names:
+            raise ValueError(f"duplicate instance name {inst_name!r}")
+        if q in self._net_drivers:
+            raise ValueError(f"net {q!r} already driven by {self._net_drivers[q]!r}")
+        self._net_drivers[q] = inst_name
+        gate = GateInstance(name=inst_name, cell=cell, inputs=(), outputs=(q,))
+        self.gates.append(gate)
+        self._instance_names.add(inst_name)
+        if init:
+            self.dff_init[inst_name] = 1
+        self._structure_version += 1
+        return q
+
+    def bind_dff(self, q: str, d: str) -> None:
+        """Connect the data input of the flip-flop driving ``q`` to net ``d``."""
+        driver = self._net_drivers.get(q)
+        if driver in (None, "<primary-input>"):
+            raise ValueError(f"net {q!r} is not driven by a flip-flop")
+        gate_by_name, _ = self._indices()
+        gate = gate_by_name[driver]
+        if gate.inputs:
+            raise ValueError(f"flip-flop {gate.name!r} is already bound")
+        if d not in self._net_drivers and d not in (self.CONST_ZERO, self.CONST_ONE):
+            raise ValueError(f"flip-flop {gate.name!r} reads undriven net {d!r}")
+        gate.inputs = (d,)
+        self._structure_version += 1
+        self._index_cache = None
+
+    def add_dff(
+        self, d: str, q: str, name: Optional[str] = None, init: int = 0
+    ) -> str:
+        """One-call flip-flop for the feed-forward case (``d`` already driven)."""
+        self.declare_dff(q, name=name, init=init)
+        self.bind_dff(q, d)
+        return q
+
+    def sequential_gates(self, library: Optional[CellLibrary] = None) -> List[GateInstance]:
+        """Flip-flop instances, in declaration order.
+
+        With a library, any cell whose :attr:`~repro.hw.cells.CellType.is_sequential`
+        flag is set counts; without one, the generic ``DFF`` name is used.
+        """
+        if library is None:
+            return [g for g in self.gates if g.cell == "DFF"]
+        return [g for g in self.gates if library[g.cell].is_sequential]
+
+    def unbound_dffs(self) -> List[str]:
+        """Names of flip-flops declared but never bound (must be empty to run)."""
+        return [g.name for g in self.gates if not g.inputs and g.cell == "DFF"]
 
     def note_structural_change(self) -> None:
         """Declare an in-place structural rewrite of the netlist.

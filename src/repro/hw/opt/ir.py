@@ -18,7 +18,13 @@ instead of O(gates * fanout).
 * a primary output whose driver was optimized away is recovered either by
   renaming the surviving net it aliases to (free) or, when that net is a
   constant / primary input / another primary output, by inserting one
-  port buffer.
+  port buffer;
+* flip-flops (any cell in :attr:`IRNetlist.sequential_cells`) are rebuilt
+  through the :meth:`~repro.hw.netlist.GateNetlist.declare_dff` /
+  :meth:`~repro.hw.netlist.GateNetlist.bind_dff` two-phase API with their
+  power-on values carried over, so clocked netlists with feedback loops
+  round-trip through the optimizer — the passes then optimize each
+  combinational region between the register barriers.
 """
 
 from __future__ import annotations
@@ -64,10 +70,18 @@ class IRNetlist:
     outputs: List[str]
     gates: List[IRGate]
     alias: Dict[str, str] = field(default_factory=dict)
+    #: Cell types reconstructed as flip-flops (declare/bind, feedback legal).
+    sequential_cells: frozenset = frozenset({"DFF"})
+    #: Flip-flop power-on values by instance name (carried through untouched).
+    dff_init: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_netlist(cls, netlist: GateNetlist) -> "IRNetlist":
+    def from_netlist(
+        cls,
+        netlist: GateNetlist,
+        sequential_cells: Optional[frozenset] = None,
+    ) -> "IRNetlist":
         return cls(
             name=netlist.name,
             inputs=list(netlist.inputs),
@@ -81,6 +95,12 @@ class IRNetlist:
                 )
                 for gate in netlist.gates
             ],
+            sequential_cells=(
+                frozenset(sequential_cells)
+                if sequential_cells is not None
+                else frozenset({"DFF"})
+            ),
+            dff_init=dict(netlist.dff_init),
         )
 
     # ------------------------------------------------------------------ #
@@ -146,13 +166,34 @@ class IRNetlist:
         netlist = GateNetlist(name=self.name)
         for net in self.inputs:
             netlist.add_input(net)
+        # Flip-flops are emitted at their original position via declare (so a
+        # Q read by logic that precedes its D driver stays legal) and bound
+        # after every combinational driver exists.
+        pending_binds: List[Tuple[str, str]] = []
         for gate in self.gates:
+            if gate.cell in self.sequential_cells:
+                if len(gate.outputs) != 1 or len(gate.inputs) != 1:
+                    raise NotImplementedError(
+                        f"sequential cell {gate.cell!r} must be a 1-bit "
+                        "flip-flop to survive optimization"
+                    )
+                q = rename.get(gate.outputs[0], gate.outputs[0])
+                netlist.declare_dff(
+                    q,
+                    name=gate.name,
+                    cell=gate.cell,
+                    init=self.dff_init.get(gate.name, 0),
+                )
+                pending_binds.append((q, gate.inputs[0]))
+                continue
             netlist.add_gate(
                 gate.cell,
                 [final(pin) for pin in gate.inputs],
                 outputs=[rename.get(net, net) for net in gate.outputs],
                 name=gate.name,
             )
+        for q, d in pending_binds:
+            netlist.bind_dff(q, final(d))
         existing_names = {gate.name for gate in self.gates}
         n_buffers = 0
         for out in self.outputs:

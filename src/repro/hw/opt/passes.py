@@ -372,23 +372,34 @@ def structural_hashing(ctx: PassContext, ir: IRNetlist) -> int:
 def dead_gate_elimination(ctx: PassContext, ir: IRNetlist) -> int:
     """Drop every gate not reverse-reachable from a primary output.
 
-    Returns the number of gates removed.
+    Liveness is computed with a worklist over the driver map rather than a
+    single reverse sweep, so the result is independent of gate order — in a
+    clocked netlist a flip-flop legally *precedes* the logic driving its D
+    pin (feedback), and a live register must keep its whole next-state cone
+    alive.  Returns the number of gates removed.
 
     Example::
 
         removed = dead_gate_elimination(ctx, ir)   # run last in every level
     """
-    live = {ir.resolve(out) for out in ir.outputs}
-    kept_reversed: List[IRGate] = []
-    changes = 0
-    for gate in reversed(ir.gates):
-        if any(net in live for net in gate.outputs):
-            kept_reversed.append(gate)
-            for pin in gate.inputs:
-                live.add(ir.resolve(pin))
-        else:
-            changes += 1
-    ir.gates = kept_reversed[::-1]
+    drivers = ir.driver_map()
+    live_nets = {ir.resolve(out) for out in ir.outputs}
+    live_gates: set = set()
+    worklist = list(live_nets)
+    while worklist:
+        net = worklist.pop()
+        gate = drivers.get(net)
+        if gate is None or id(gate) in live_gates:
+            continue
+        live_gates.add(id(gate))
+        for pin in gate.inputs:
+            resolved = ir.resolve(pin)
+            if resolved not in live_nets:
+                live_nets.add(resolved)
+                worklist.append(resolved)
+    kept = [gate for gate in ir.gates if id(gate) in live_gates]
+    changes = len(ir.gates) - len(kept)
+    ir.gates = kept
     return changes
 
 

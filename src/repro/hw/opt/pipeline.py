@@ -218,7 +218,12 @@ def optimize(
     # from ever being aliased (their drivers must survive).
     if not ctx.is_canonical("BUF"):
         ctx = PassContext(library, opaque, protected_nets=netlist.outputs)
-    ir = IRNetlist.from_netlist(netlist)
+    sequential_cells = frozenset(
+        gate.cell
+        for gate in netlist.gates
+        if gate.cell in library and library[gate.cell].is_sequential
+    )
+    ir = IRNetlist.from_netlist(netlist, sequential_cells=sequential_cells or None)
     gates_before = ir.n_gates()
     removed = {name: 0 for name in pass_names}
     iterations = 0
@@ -262,13 +267,17 @@ def check_equivalence(
     library: Optional[CellLibrary] = None,
     n_vectors: int = 256,
     seed: int = 0,
+    n_cycles: int = 8,
 ) -> bool:
     """Random-vector equivalence of two netlists with identical interfaces.
 
     Sweeps ``n_vectors`` random input vectors through both netlists on the
     bit-parallel engine and compares every primary output bit-exactly.  The
     interfaces (input and output names, in order) must match — the optimizer
-    guarantees this for its own results.
+    guarantees this for its own results.  Clocked netlists (any sequential
+    cell present) are swept through the *sequential* engine instead: both
+    sides are clocked for ``n_cycles`` cycles from their power-on state and
+    every per-cycle output plane must match.
 
     Example::
 
@@ -283,6 +292,17 @@ def check_equivalence(
         return False
     rng = np.random.default_rng(seed)
     vectors = rng.integers(0, 2, size=(n_vectors, len(raw.inputs)))
+    resolved = library or EGFET_PDK
+    if raw.sequential_gates(resolved):
+        from repro.perf.seqsim import simulate_sequential_batch
+
+        trace_raw = simulate_sequential_batch(
+            raw, vectors, cycles=n_cycles, library=library
+        )
+        trace_opt = simulate_sequential_batch(
+            optimized, vectors, cycles=n_cycles, library=library
+        )
+        return bool(np.array_equal(trace_raw, trace_opt))
     out_raw = simulate_netlist_batch(raw, vectors, library)
     out_opt = simulate_netlist_batch(optimized, vectors, library)
     return bool(np.array_equal(out_raw, out_opt))

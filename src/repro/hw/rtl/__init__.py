@@ -27,7 +27,15 @@ from repro.hw.rtl.mux import (
     storage_table_bits,
 )
 from repro.hw.rtl.comparator import build_comparator_netlist, magnitude_comparator
-from repro.hw.rtl.registers import binary_counter, register_bank
+from repro.hw.rtl.registers import (
+    binary_counter,
+    build_counter_netlist,
+    register_bank,
+)
+from repro.hw.rtl.svm_top import (
+    build_sequential_svm_netlist,
+    verify_sequential_svm_netlist,
+)
 
 __all__ = [
     "ripple_carry_adder",
@@ -47,4 +55,7 @@ __all__ = [
     "build_comparator_netlist",
     "register_bank",
     "binary_counter",
+    "build_counter_netlist",
+    "build_sequential_svm_netlist",
+    "verify_sequential_svm_netlist",
 ]

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from typing import List
 
 from repro.hw.activity import control_toggles, register_toggles
-from repro.hw.netlist import HardwareBlock
+from repro.hw.netlist import GateNetlist, HardwareBlock
 
 
 def register_bank(width: int, with_enable: bool = True, name: str = "reg") -> HardwareBlock:
@@ -54,6 +55,43 @@ def binary_counter(n_states: int, name: str = "counter") -> HardwareBlock:
         path=path,
         toggles=control_toggles(counts),
     )
+
+
+def build_counter_netlist(bits: int, name: str = "counter") -> GateNetlist:
+    """Explicit free-running binary up-counter netlist (for clocked simulation).
+
+    The structure :func:`binary_counter` prices: one D flip-flop per bit and
+    a half-adder increment chain seeded with constant 1, closed through the
+    :meth:`~repro.hw.netlist.GateNetlist.declare_dff` /
+    :meth:`~repro.hw.netlist.GateNetlist.bind_dff` feedback API.  No primary
+    inputs; primary outputs ``q[bits]`` (the register values) and ``tc``
+    (terminal count, high when every bit is 1).  Counts ``0, 1, 2, ...``
+    modulo ``2**bits`` — cycle ``t`` of a sequential simulation shows the
+    value ``t``.
+    """
+    if bits < 1:
+        raise ValueError("counter needs at least one bit")
+    netlist = GateNetlist(name=name)
+    q: List[str] = [
+        netlist.declare_dff(f"q[{b}]", name=f"dff{b}") for b in range(bits)
+    ]
+    carry = GateNetlist.CONST_ONE
+    for b in range(bits):
+        s, carry = netlist.add_gate(
+            "HA", [q[b], carry], outputs=[f"inc[{b}]", f"cy[{b}]"]
+        )
+        netlist.bind_dff(q[b], s)
+    tc = q[0]
+    for b in range(1, bits):
+        out = "tc" if b == bits - 1 else f"tc{b}"
+        tc = netlist.add_gate("AND2", [tc, q[b]], outputs=[out])[0]
+    if bits == 1:
+        # q[0] is already an output; one buffer gives tc its own net.
+        tc = netlist.add_gate("BUF", [tc], outputs=["tc"])[0]
+    for b in range(bits):
+        netlist.mark_output(q[b])
+    netlist.mark_output(tc)
+    return netlist
 
 
 def counter_bits(n_states: int) -> int:

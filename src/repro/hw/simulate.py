@@ -1,8 +1,15 @@
 """Simulation support: gate-level logic simulation and cycle-accurate
 execution of the sequential SVM architecture.
 
-Two simulators live here:
+Three simulators live here:
 
+* :func:`simulate_sequential_reference` — interpreted per-cycle walk of a
+  *clocked* netlist (real D flip-flops built through the
+  :meth:`~repro.hw.netlist.GateNetlist.declare_dff` /
+  :meth:`~repro.hw.netlist.GateNetlist.bind_dff` feedback API).  It is the
+  oracle the bit-parallel sequential engine
+  (:mod:`repro.perf.seqsim`) is verified against and the baseline its
+  benchmarks measure speedups over.
 * :func:`simulate_combinational` — zero-delay event-free evaluation of an
   explicit :class:`~repro.hw.netlist.GateNetlist`.  Used by the verification
   tests to prove that the generated adder / multiplier / MUX / comparator
@@ -112,6 +119,72 @@ def simulate_combinational_reference(
         for net, val in zip(gate.outputs, outs):
             values[net] = val
     return values
+
+
+def simulate_sequential_reference(
+    netlist: GateNetlist,
+    input_values: Dict[str, int],
+    cycles: int,
+    init: Optional[Dict[str, int]] = None,
+    library: Optional[CellLibrary] = None,
+) -> np.ndarray:
+    """Interpreted per-cycle walk of a clocked netlist (one input vector).
+
+    The sequential analogue of :func:`simulate_combinational_reference` and
+    the oracle the bit-parallel engine (:mod:`repro.perf.seqsim`) is
+    verified against: every cycle the combinational gates are evaluated one
+    by one with the current flip-flop values, the primary-output values seen
+    *during* the cycle are recorded, and the registers then load their D
+    inputs.  Flip-flops power on to
+    :attr:`~repro.hw.netlist.GateNetlist.dff_init` (``init`` overrides per
+    instance name or Q net).  Returns a ``(cycles, n_outputs)`` 0/1 matrix
+    in ``netlist.outputs`` column order.
+    """
+    library = library or EGFET_PDK
+    sequential = netlist.sequential_gates(library)
+    unbound = [g.name for g in sequential if not g.inputs]
+    if unbound:
+        raise ValueError(
+            f"netlist {netlist.name!r} has unbound flip-flops {unbound}; "
+            "call bind_dff before simulating"
+        )
+    sequential_ids = {id(g) for g in sequential}
+    missing = [net for net in netlist.inputs if net not in input_values]
+    if missing:
+        raise ValueError(f"missing values for primary inputs: {missing}")
+    state: Dict[str, int] = {
+        g.name: int(netlist.dff_init.get(g.name, 0)) & 1 for g in sequential
+    }
+    if init:
+        by_q = {g.outputs[0]: g.name for g in sequential}
+        for key, value in init.items():
+            name = key if key in state else by_q.get(key)
+            if name is None:
+                raise KeyError(f"unknown flip-flop {key!r}")
+            state[name] = int(value) & 1
+
+    trace = np.zeros((int(cycles), len(netlist.outputs)), dtype=np.int64)
+    for t in range(int(cycles)):
+        values: Dict[str, int] = {
+            GateNetlist.CONST_ZERO: 0,
+            GateNetlist.CONST_ONE: 1,
+        }
+        for net in netlist.inputs:
+            values[net] = 1 if input_values[net] else 0
+        for gate in sequential:
+            values[gate.outputs[0]] = state[gate.name]
+        for gate in netlist.gates:
+            if id(gate) in sequential_ids:
+                continue
+            cell = library[gate.cell]
+            ins = tuple(values[pin] for pin in gate.inputs)
+            outs = cell.evaluate(ins)
+            for net, val in zip(gate.outputs, outs):
+                values[net] = val
+        trace[t] = [values[net] for net in netlist.outputs]
+        for gate in sequential:
+            state[gate.name] = values[gate.inputs[0]]
+    return trace
 
 
 def _validate_batch_codes(input_codes: np.ndarray, n_features: int) -> np.ndarray:

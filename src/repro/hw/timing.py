@@ -24,25 +24,43 @@ from repro.hw.pdk import DEFAULT_PDK_PARAMETERS, EGFET_PDK, PDKParameters
 
 
 def longest_path_cells(netlist: GateNetlist, library: Optional[CellLibrary] = None) -> Counter:
-    """Cells along the delay-critical path of a combinational netlist.
+    """Cells along the delay-critical path of a netlist.
 
-    The netlist is traversed in topological order (gates are stored in
-    creation order, and the :class:`GateNetlist` builder only allows reading
-    already-driven nets, so creation order *is* a topological order).  For
-    each net we track the accumulated worst delay and the cell multiset that
-    produced it; the result is the multiset of the overall worst output.
+    Combinational netlists are traversed in topological order (gates are
+    stored in creation order, and the :class:`GateNetlist` builder only
+    allows reading already-driven nets, so creation order *is* a topological
+    order).  For each net we track the accumulated worst delay and the cell
+    multiset that produced it; the result is the multiset of the overall
+    worst output.
+
+    Clocked netlists (any sequential cell present) get the register-aware
+    analysis instead: every flip-flop Q output is a *launch* point (arrival
+    zero — the clock-to-Q/setup overhead is priced separately by
+    :class:`TimingAnalyzer`), every flip-flop D input and every primary
+    output is a *capture* point, and the result is the cell multiset of the
+    critical register-to-register (or input-to-register / register-to-output)
+    path — the path that actually limits the clock of the multi-cycle
+    architecture.
     """
     library = library or EGFET_PDK
+    sequential = netlist.sequential_gates(library)
+    sequential_ids = {id(g) for g in sequential}
     # arrival[net] = (delay_ms, Counter of cells along the path)
     arrival: Dict[str, tuple] = {}
     for net in netlist.inputs:
         arrival[net] = (0.0, Counter())
     arrival[GateNetlist.CONST_ZERO] = (0.0, Counter())
     arrival[GateNetlist.CONST_ONE] = (0.0, Counter())
+    for gate in sequential:
+        # Q launches a fresh path at the clock edge.
+        for out in gate.outputs:
+            arrival[out] = (0.0, Counter())
 
     worst_delay = 0.0
     worst_cells: Counter = Counter()
     for gate in netlist.gates:
+        if id(gate) in sequential_ids:
+            continue
         in_delay = 0.0
         in_cells: Counter = Counter()
         for pin in gate.inputs:
@@ -58,6 +76,13 @@ def longest_path_cells(netlist: GateNetlist, library: Optional[CellLibrary] = No
         if out_delay > worst_delay:
             worst_delay = out_delay
             worst_cells = out_cells
+    # Capture points: the D pin of every register ends a path there.
+    for gate in sequential:
+        for pin in gate.inputs:
+            delay, cells = arrival.get(pin, (0.0, Counter()))
+            if delay > worst_delay:
+                worst_delay = delay
+                worst_cells = cells
     return worst_cells
 
 
@@ -154,7 +179,7 @@ def analyze_timing(
 
 def analyze_netlist_timing(
     netlist: GateNetlist,
-    sequential: bool = False,
+    sequential: Optional[bool] = None,
     library: Optional[CellLibrary] = None,
     params: Optional[PDKParameters] = None,
     opt_level: Optional[int] = None,
@@ -165,11 +190,18 @@ def analyze_netlist_timing(
     and a longest-path-extracted critical path
     (:func:`repro.hw.opt.netlist_to_block`); ``opt_level`` optionally runs
     the :mod:`repro.hw.opt` pass pipeline first, so the report prices the
-    *optimized* structure.  ``sequential`` defaults to False because the
-    explicit netlists generated by :mod:`repro.hw.rtl` are combinational.
+    *optimized* structure.  ``sequential`` defaults to auto-detection: a
+    netlist containing flip-flops is clocked — its critical path is the
+    register-to-register path :func:`longest_path_cells` extracts, and the
+    clock period pays the flip-flop overhead on top — while the purely
+    combinational netlists of :mod:`repro.hw.rtl` are priced at their
+    evaluation rate.
     """
     from repro.hw.opt.lowering import netlist_to_block
 
+    if sequential is None:
+        resolved = library or EGFET_PDK
+        sequential = bool(netlist.sequential_gates(resolved))
     block = netlist_to_block(netlist, library=library, level=opt_level)
     return TimingAnalyzer(library=library, params=params).analyze(
         block, sequential=sequential

@@ -58,26 +58,40 @@ def netlist_to_verilog(netlist: GateNetlist, opt_level: int = 0) -> str:
     ``opt_level > 0`` runs the :mod:`repro.hw.opt` pass pipeline first and
     emits the optimized netlist; the module interface (port names and order)
     is identical at every level, only the internal gate structure shrinks.
+
+    Clocked netlists (``DFF`` cells, including feedback built through the
+    ``declare_dff``/``bind_dff`` API) gain a ``clk`` input port; every
+    flip-flop becomes a ``reg`` updated in its own ``always @(posedge
+    clk)`` block, with the power-on value from
+    :attr:`~repro.hw.netlist.GateNetlist.dff_init` as the ``initial``
+    state.
     """
     if opt_level:
         from repro.hw.opt.pipeline import optimize
 
         netlist = optimize(netlist, level=opt_level).netlist
+    flops = [g for g in netlist.gates if g.cell == "DFF" and g.inputs]
+    flop_ids = {id(g) for g in flops}
+    reg_nets = {_sanitize(g.outputs[0]) for g in flops}
     inputs = [_sanitize(n) for n in netlist.inputs]
     outputs = [_sanitize(n) for n in netlist.outputs]
-    ports = inputs + outputs
+    ports = (["clk"] if flops else []) + inputs + outputs
     lines: List[str] = [
         f"// Auto-generated structural netlist: {netlist.name}",
         f"module {netlist.name} (",
         "  " + ",\n  ".join(ports),
         ");",
     ]
+    if flops:
+        lines.append("  input  clk;")
     for name in inputs:
         lines.append(f"  input  {name};")
     for name in outputs:
         lines.append(f"  output {name};")
+    for net in sorted(reg_nets):
+        lines.append(f"  reg    {net};")
 
-    declared = set(inputs) | set(outputs)
+    declared = set(inputs) | set(outputs) | reg_nets
     for gate in netlist.gates:
         for out in gate.outputs:
             sanitized = _sanitize(out)
@@ -86,6 +100,14 @@ def netlist_to_verilog(netlist: GateNetlist, opt_level: int = 0) -> str:
                 declared.add(sanitized)
 
     for gate in netlist.gates:
+        if id(gate) in flop_ids:
+            q = _sanitize(gate.outputs[0])
+            d = _sanitize(gate.inputs[0])
+            init = int(netlist.dff_init.get(gate.name, 0)) & 1
+            lines.append("  // " + gate.name + " (DFF)")
+            lines.append(f"  initial {q} = 1'b{init};")
+            lines.append(f"  always @(posedge clk) {q} <= {d};")
+            continue
         template = _CELL_EXPRESSIONS.get(gate.cell)
         if template is None:
             raise ValueError(f"no Verilog template for cell {gate.cell!r}")

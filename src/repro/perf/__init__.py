@@ -14,6 +14,13 @@ that with a two-stage compile -> bitsim pipeline:
   test vectors are packed per ``uint64`` word and every op is one numpy
   bitwise kernel, so a sweep costs ``O(gates * vectors / 64)`` instead of
   ``O(gates * vectors)`` interpreted steps.
+* :mod:`repro.perf.seqsim` — the *sequential* engine: clocked netlists
+  (real D flip-flops, feedback loops) split at their register boundaries
+  into one combinational cone program, then clocked N cycles with packed
+  per-flip-flop ``uint64`` state words — 64 vectors advance per word per
+  cycle.  ``opt_level`` optimizes the combinational regions between the
+  register barriers.  The interpreted per-cycle walk survives as
+  :func:`repro.hw.simulate.simulate_sequential_reference` (the oracle).
 * :mod:`repro.perf.benchmark` — measures simulation throughput
   (samples/s, gate-evals/s) and records it to ``BENCH_simulation.json`` so
   the performance trajectory is tracked PR over PR.  Run it via
@@ -47,18 +54,32 @@ from repro.perf.bitsim import (
     simulate_netlist_batch,
     unpack_vectors,
     words_to_ints,
+    words_to_signed_ints,
 )
 from repro.perf.compile import CompiledProgram, compile_netlist
 from repro.perf.flow_bench import run_flow_benchmark
+from repro.perf.seqsim import (
+    SequentialEvaluator,
+    SequentialProgram,
+    compile_sequential,
+    sequential_evaluator_for,
+    simulate_sequential_batch,
+)
 
 __all__ = [
     "run_flow_benchmark",
     "BitParallelEvaluator",
     "CompiledProgram",
+    "SequentialEvaluator",
+    "SequentialProgram",
     "compile_netlist",
+    "compile_sequential",
     "evaluator_for",
     "pack_vectors",
+    "sequential_evaluator_for",
     "simulate_netlist_batch",
+    "simulate_sequential_batch",
     "unpack_vectors",
     "words_to_ints",
+    "words_to_signed_ints",
 ]

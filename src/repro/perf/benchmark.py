@@ -10,6 +10,11 @@ tracked PR over PR:
 * **gate level** — compiled bit-parallel netlist sweeps vs the interpreted
   per-gate dict-walk reference, in gate-evals/s, over every RTL generator
   family (adder, multiplier, MUX tree, comparator).
+* **sequential sim** — the bit-parallel multi-cycle engine
+  (:mod:`repro.perf.seqsim`) clocking real flip-flop netlists (the
+  gate-level sequential-SVM top, a binary counter) vs the interpreted
+  per-cycle walk, in cycle-evals/s, with bit-exactness asserted on every
+  run.
 * **netlist opt** — gate-count reduction of the :mod:`repro.hw.opt` pass
   pipeline on the hardwired constant-datapath workloads (tied-operand MAC /
   multiplier), plus the simulation speedup of evaluating the optimized
@@ -39,12 +44,16 @@ from repro.hw.rtl.multipliers import (
     build_constant_multiplier_netlist,
 )
 from repro.hw.rtl.mux import build_mux_tree_netlist
+from repro.hw.rtl.registers import build_counter_netlist
+from repro.hw.rtl.svm_top import build_sequential_svm_netlist
 from repro.hw.simulate import (
     ParallelDatapathSimulator,
     SequentialDatapathSimulator,
     simulate_combinational_reference,
+    simulate_sequential_reference,
 )
 from repro.perf.bitsim import evaluator_for
+from repro.perf.seqsim import sequential_evaluator_for
 
 
 from repro.core.paths import bench_output_path as _bench_output_path
@@ -155,6 +164,74 @@ def benchmark_gate_level(
 
 
 # --------------------------------------------------------------------------- #
+# Sequential (multi-cycle) gate-level throughput
+# --------------------------------------------------------------------------- #
+def _sequential_workloads(seed: int) -> Dict[str, "tuple"]:
+    """Clocked benchmark netlists: ``name -> (netlist, input_bits, cycles)``."""
+    rng = np.random.default_rng(seed)
+    n_classifiers, n_features, input_bits = 4, 4, 2
+    weights = rng.integers(-7, 8, size=(n_classifiers, n_features))
+    biases = rng.integers(-20, 21, size=n_classifiers)
+    svm_top, ports = build_sequential_svm_netlist(
+        weights, biases, input_bits=input_bits, name="seq_svm_4x4"
+    )
+    counter = build_counter_netlist(6)
+    return {
+        "sequential_svm_top_4x4": (svm_top, ports.n_features * input_bits, ports.n_classifiers),
+        "counter_6b": (counter, 0, 16),
+    }
+
+
+def benchmark_sequential(
+    n_vectors: int = 64, seed: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Bit-parallel sequential engine vs the interpreted per-cycle walk.
+
+    For each clocked workload (a small gate-level sequential-SVM top and a
+    free-running counter) both sides clock the same ``n_vectors`` input
+    vectors for the same number of cycles: the engine through
+    :mod:`repro.perf.seqsim` (packed words, one numpy kernel per op per
+    cycle), the baseline through
+    :func:`~repro.hw.simulate.simulate_sequential_reference` (per-gate dict
+    walk, one vector at a time).  Records cycle-evals/s (vectors x cycles
+    per second) and the speedup.
+    """
+    rng = np.random.default_rng(seed)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, (netlist, n_inputs, cycles) in _sequential_workloads(seed).items():
+        vectors = rng.integers(0, 2, size=(n_vectors, n_inputs))
+        rows = [dict(zip(netlist.inputs, (int(v) for v in vec))) for vec in vectors]
+
+        def _interpreted() -> None:
+            for row in rows:
+                simulate_sequential_reference(netlist, row, cycles)
+
+        # Compile (and verify bit-exactness on this workload) outside the
+        # timed region, mirroring the combinational benchmark.
+        evaluator = sequential_evaluator_for(netlist)
+        trace = evaluator.run(vectors, cycles=cycles)
+        reference = np.stack(
+            [simulate_sequential_reference(netlist, row, cycles) for row in rows],
+            axis=1,
+        )
+        equivalent = bool(np.array_equal(trace, reference))
+        t_ref = _time(_interpreted, repeats=3)
+        t_fast = _time(lambda: evaluator.run(vectors, cycles=cycles), repeats=3)
+        cycle_evals = n_vectors * cycles
+        results[name] = {
+            "n_gates": float(netlist.n_gates()),
+            "n_state_bits": float(len(netlist.sequential_gates())),
+            "n_vectors": float(n_vectors),
+            "cycles": float(cycles),
+            "equivalent": 1.0 if equivalent else 0.0,
+            "interpreted_cycle_evals_per_s": cycle_evals / t_ref,
+            "seqsim_cycle_evals_per_s": cycle_evals / t_fast,
+            "speedup": t_ref / t_fast,
+        }
+    return results
+
+
+# --------------------------------------------------------------------------- #
 # Netlist optimization (pass pipeline) trajectory
 # --------------------------------------------------------------------------- #
 #: Coefficient magnitudes of the reference constant-MAC workload: a mix of
@@ -225,12 +302,14 @@ def run_simulation_benchmark(fast: bool = True, seed: int = 0) -> Dict:
         datapath = benchmark_datapath(n_samples=1000, seed=seed)
         gates = benchmark_gate_level(n_vectors=256, seed=seed)
         netlist_opt = benchmark_optimization(n_vectors=256, seed=seed)
+        sequential = benchmark_sequential(n_vectors=64, seed=seed)
     else:
         datapath = benchmark_datapath(
             n_classifiers=26, n_features=32, n_samples=20000, seed=seed
         )
         gates = benchmark_gate_level(n_vectors=4096, seed=seed)
         netlist_opt = benchmark_optimization(n_vectors=4096, seed=seed)
+        sequential = benchmark_sequential(n_vectors=256, seed=seed)
     return {
         "benchmark": "simulation_throughput",
         "config": "fast" if fast else "full",
@@ -238,10 +317,12 @@ def run_simulation_benchmark(fast: bool = True, seed: int = 0) -> Dict:
         "numpy": np.__version__,
         "datapath": datapath,
         "gate_level": gates,
+        "sequential_sim": sequential,
         "netlist_opt": netlist_opt,
         "min_speedups": {
             "datapath_batch": min(r["speedup"] for r in datapath.values()),
             "gate_level_bitsim": min(r["speedup"] for r in gates.values()),
+            "sequential_sim": min(r["speedup"] for r in sequential.values()),
             "netlist_opt_reduction_percent": min(
                 r["reduction_percent"] for r in netlist_opt.values()
             ),
@@ -279,9 +360,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     results = run_simulation_benchmark(fast=not args.full)
     path = write_benchmark(results, args.output)
-    for group in ("datapath", "gate_level"):
+    for group in ("datapath", "gate_level", "sequential_sim"):
         for name, record in results[group].items():
-            print(f"{group:10s} {name:22s} speedup {record['speedup']:8.1f}x")
+            print(f"{group:14s} {name:24s} speedup {record['speedup']:8.1f}x")
     for name, record in results["netlist_opt"].items():
         print(
             f"{'opt':10s} {name:22s} "

@@ -311,3 +311,19 @@ def words_to_ints(bits: np.ndarray, lanes: Sequence[int]) -> np.ndarray:
     for k, lane in enumerate(lanes):
         value |= bits[:, lane].astype(np.int64) << k
     return value
+
+
+def words_to_signed_ints(bits: np.ndarray, lanes: Sequence[int]) -> np.ndarray:
+    """Like :func:`words_to_ints` but decodes two's complement.
+
+    The last lane is the sign bit: a set MSB subtracts ``2**width``.  Used to
+    decode the signed score buses of the gate-level sequential SVM.
+
+    Example::
+
+        scores = words_to_signed_ints(out_bits, range(10))   # 10-bit signed
+    """
+    lanes = list(lanes)
+    value = words_to_ints(bits, lanes)
+    width = len(lanes)
+    return value - ((value >> (width - 1)) << width)

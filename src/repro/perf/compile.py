@@ -329,6 +329,17 @@ def compile_netlist(
         cell = library[gate.cell]
         if cell.function is None:
             raise NotImplementedError(f"cell {cell.name} has no simulation model")
+        missing = [pin for pin in gate.inputs if pin not in net_slots]
+        if missing or (cell.is_sequential and not gate.inputs):
+            # A pin driven only later in the gate list (or an unbound DFF)
+            # means the netlist has sequential feedback: it cannot be lowered
+            # as a combinational cone.
+            raise ValueError(
+                f"gate {gate.name!r} of {netlist.name!r} reads nets with no "
+                f"combinational driver yet ({missing or 'unbound flip-flop'}); "
+                "clocked netlists must be compiled with "
+                "repro.perf.seqsim.compile_sequential"
+            )
         in_slots = [net_slots[pin] for pin in gate.inputs]
         out_slots = [builder.new_slot() for _ in gate.outputs]
         for net, slot in zip(gate.outputs, out_slots):

@@ -7,8 +7,9 @@ dicts, so tests and benchmarks can swap transports freely:
 * :class:`Client` calls the :class:`~repro.serve.server.ModelServer`
   directly (no sockets), which is what the test suite and the serving
   benchmark use;
-* :class:`HTTPClient` drives the real endpoint over ``urllib`` (stdlib),
-  which is what an external consumer of ``repro-serve`` sees.
+* :class:`HTTPClient` drives the real endpoint over one persistent
+  (keep-alive) ``http.client`` connection (stdlib), which is what an
+  external consumer of ``repro-serve`` sees.
 
 Example::
 
@@ -20,10 +21,11 @@ Example::
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
-from typing import Dict, Sequence, Union
+import threading
+import urllib.parse
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -92,35 +94,99 @@ class HTTPError(RuntimeError):
 class HTTPClient:
     """Minimal stdlib client for the ``repro-serve`` HTTP endpoint.
 
+    Keeps one persistent HTTP/1.1 connection to the server and reuses it
+    across requests (the endpoint speaks keep-alive), so a request costs a
+    round trip instead of a TCP handshake plus a round trip.  The connection
+    is re-established transparently — with a single retry — when the server
+    closes it (idle timeout, restart).  Thread-safe: concurrent callers
+    serialize on the connection; use one client per thread for parallel
+    load.
+
     Example::
 
         client = HTTPClient("http://127.0.0.1:8000", timeout=5.0)
         client.healthz()["status"]                  # "ok"
         client.predict("redwine/ours", [0.2] * 11)  # decoded prediction dict
+        client.close()                              # drop the kept socket
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._path_prefix = parsed.path.rstrip("/")
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the persistent connection (re-opened lazily on next use)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "HTTPClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _request(self, path: str, payload: Union[Dict, None] = None) -> Dict:
-        url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            try:
-                message = json.loads(error.read().decode("utf-8")).get("error", "")
-            except Exception:
-                message = error.reason
-            raise HTTPError(error.code, message) from error
+        method = "GET" if payload is None else "POST"
+        url = f"{self._path_prefix}{path}"
+        # Only a dropped kept socket warrants the transparent resend; a
+        # timeout (or any other error) must propagate — the server may have
+        # received and be processing the first copy of the request.
+        retryable = (
+            http.client.RemoteDisconnected,
+            http.client.BadStatusLine,
+            http.client.CannotSendRequest,
+            ConnectionError,
+        )
+        with self._lock:
+            # One transparent retry on a fresh connection covers the server
+            # having dropped the kept socket between requests.
+            for attempt in (0, 1):
+                conn = self._connection()
+                try:
+                    conn.request(method, url, body=data, headers=headers)
+                    response = conn.getresponse()
+                    body = response.read()
+                except retryable:
+                    conn.close()
+                    self._conn = None
+                    if attempt:
+                        raise
+                    continue
+                except (http.client.HTTPException, OSError):
+                    conn.close()
+                    self._conn = None
+                    raise
+                if response.status >= 400:
+                    try:
+                        message = json.loads(body.decode("utf-8")).get("error", "")
+                    except Exception:
+                        message = response.reason
+                    raise HTTPError(response.status, message)
+                return json.loads(body.decode("utf-8"))
+        raise RuntimeError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     def predict(self, model: str, features: Sequence) -> Dict:

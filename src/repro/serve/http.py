@@ -4,7 +4,10 @@ A :class:`ThreadingHTTPServer` front-end over one
 :class:`~repro.serve.server.ModelServer`.  Handler threads do nothing but
 decode JSON and block on the shared micro-batching queue, so concurrent
 HTTP requests coalesce into vectorized micro-batches exactly like
-in-process callers.
+in-process callers.  The endpoint speaks HTTP/1.1 with persistent
+(keep-alive) connections — a client reusing its socket skips the TCP
+handshake per request, which is what :class:`~repro.serve.client.HTTPClient`
+does by default.
 
 Routes
 ------
@@ -57,9 +60,22 @@ class ServingHTTPServer(ThreadingHTTPServer):
 
 
 class _ServingRequestHandler(BaseHTTPRequestHandler):
-    """Route dispatch for the serving endpoint (one instance per request)."""
+    """Route dispatch for the serving endpoint (one instance per connection).
+
+    Speaks HTTP/1.1 with persistent connections: every response carries a
+    ``Content-Length``, so the stdlib keeps the socket open and a client can
+    pipeline thousands of predict requests over one TCP connection instead
+    of paying a handshake each (see :class:`repro.serve.client.HTTPClient`,
+    which reuses its connection).  Idle connections are dropped after
+    :attr:`timeout` seconds so stuck clients cannot pin handler threads.
+    """
 
     server: ServingHTTPServer
+    #: HTTP/1.1 enables keep-alive (connection reuse) in the stdlib handler.
+    protocol_version = "HTTP/1.1"
+    #: Seconds an idle persistent connection may sit between requests.
+    timeout = 60.0
+
     #: Quiet by default: request logging is the caller's business.
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
@@ -70,6 +86,11 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        # Tell the client explicitly whether this socket stays usable; an
+        # HTTP/1.1 peer assumes keep-alive unless it reads "close".
+        self.send_header(
+            "Connection", "close" if self.close_connection else "keep-alive"
+        )
         self.end_headers()
         self.wfile.write(body)
 
@@ -79,9 +100,16 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
     def _read_json_body(self) -> Optional[dict]:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
+            # No usable Content-Length (absent, zero, or chunked encoding we
+            # never read): anything the client did send would desync the next
+            # keep-alive request, so drop the connection.
+            self.close_connection = True
             self._send_error_json(400, "missing request body")
             return None
         if length > MAX_BODY_BYTES:
+            # The oversized body stays unread; drop the connection instead of
+            # letting the next keep-alive request parse it as garbage.
+            self.close_connection = True
             self._send_error_json(413, f"request body over {MAX_BODY_BYTES} bytes")
             return None
         try:
@@ -111,6 +139,9 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path != "/predict":
+            # The request body stays unread; drop the connection so the next
+            # keep-alive request cannot parse it as its request line.
+            self.close_connection = True
             self._send_error_json(404, f"unknown route {self.path!r}")
             return
         payload = self._read_json_body()

@@ -1,0 +1,129 @@
+"""Optimization and timing of clocked netlists (register-boundary regions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.netlist import GateNetlist
+from repro.hw.opt import check_equivalence, optimize
+from repro.hw.rtl.adders import build_ripple_adder_netlist
+from repro.hw.rtl.registers import build_counter_netlist
+from repro.hw.rtl.svm_top import build_sequential_svm_netlist
+from repro.hw.timing import analyze_netlist_timing, longest_path_cells
+from repro.perf.seqsim import simulate_sequential_batch
+
+
+def _clocked_with_dead_and_foldable_logic() -> GateNetlist:
+    """A register sandwiched between foldable and dead combinational logic."""
+    n = GateNetlist("regions")
+    a = n.add_input("a")
+    q = n.declare_dff("q", name="ff")
+    # Next-state region: AND with constant 1 folds to a wire.
+    (d,) = n.add_gate("AND2", [a, GateNetlist.CONST_ONE], outputs=["d"])
+    n.bind_dff(q, d)
+    # Output region: double inverter collapses.
+    (x,) = n.add_gate("INV", [q], outputs=["x"])
+    (y,) = n.add_gate("INV", [x], outputs=["y"])
+    n.mark_output(y)
+    # Dead region: feeds nothing.
+    n.add_gate("XOR2", [a, q], outputs=["dead"])
+    return n
+
+
+class TestSequentialOptimization:
+    def test_regions_between_registers_are_optimized(self):
+        raw = _clocked_with_dead_and_foldable_logic()
+        result = optimize(raw, level=2)
+        counts = result.netlist.cell_counts()
+        assert counts["DFF"] == 1  # the barrier survives
+        assert "XOR2" not in counts  # dead region eliminated
+        assert "AND2" not in counts  # const-fed gate folded
+        assert check_equivalence(raw, result.netlist, n_cycles=6)
+
+    def test_optimized_clocked_netlist_is_cycle_exact(self):
+        rng = np.random.default_rng(11)
+        weights = rng.integers(-7, 8, size=(4, 3))
+        biases = rng.integers(-10, 11, size=4)
+        top, ports = build_sequential_svm_netlist(weights, biases, input_bits=2)
+        result = optimize(top, level=2)
+        assert result.stats.gates_removed > 0
+        codes = rng.integers(0, 4, size=(20, 3))
+        raw_trace = simulate_sequential_batch(
+            top, ports.input_matrix(codes), cycles=4
+        )
+        opt_trace = simulate_sequential_batch(
+            result.netlist, ports.input_matrix(codes), cycles=4
+        )
+        assert np.array_equal(raw_trace, opt_trace)
+
+    def test_counter_feedback_round_trips_through_the_ir(self):
+        raw = build_counter_netlist(4)
+        optimized = optimize(raw, level=2).netlist
+        assert optimized.cell_counts()["DFF"] == 4
+        assert check_equivalence(raw, optimized, n_cycles=20)
+
+    def test_dff_init_survives_optimization(self):
+        n = GateNetlist("held")
+        q = n.declare_dff("q", name="ff", init=1)
+        n.bind_dff(q, q)
+        (buf,) = n.add_gate("BUF", [q], outputs=["out"])
+        n.mark_output(buf)
+        optimized = optimize(n, level=2).netlist
+        assert optimized.dff_init.get("ff") == 1
+        trace = simulate_sequential_batch(optimized, np.zeros((1, 0)), cycles=3)
+        assert np.array_equal(trace[:, 0, 0], np.ones(3))
+
+    def test_live_register_keeps_its_feedback_cone(self):
+        # dead-gate elimination must not drop the increment logic that only
+        # the flip-flops (which precede it in the gate list) consume.
+        raw = build_counter_netlist(3)
+        optimized = optimize(raw, level=1).netlist
+        counts = optimized.cell_counts()
+        # HA(q0, const 1) folds to an inverter + wire; the rest of the
+        # increment chain must survive because the live registers consume it.
+        assert counts["DFF"] == 3
+        assert counts["HA"] == 2 and counts["INV"] == 1
+        assert check_equivalence(raw, optimized, n_cycles=10)
+
+
+class TestRegisterAwareTiming:
+    def test_clocked_netlist_reports_reg_to_reg_path(self):
+        counter = build_counter_netlist(4)
+        path = longest_path_cells(counter)
+        # The critical register-to-register path is the increment carry
+        # chain (4 half adders); the flip-flop overhead is priced separately.
+        assert path["HA"] == 4
+        assert "DFF" not in path
+
+    def test_analyze_netlist_timing_autodetects_sequential(self):
+        counter = build_counter_netlist(4)
+        report = analyze_netlist_timing(counter)
+        from repro.hw.pdk import EGFET_PDK
+
+        overhead = EGFET_PDK["DFF"].delay_ms
+        # Clock period covers the path plus the register overhead and margin.
+        assert report.clock_period_ms > report.critical_path_ms + overhead * 0.99
+
+    def test_combinational_netlists_unchanged(self):
+        adder = build_ripple_adder_netlist(8)
+        path = longest_path_cells(adder)
+        assert path["FA"] == 7 and path["HA"] == 1
+        report = analyze_netlist_timing(adder)
+        assert report.logic_depth == 8
+
+    def test_svm_top_timing_improves_with_optimization(self):
+        rng = np.random.default_rng(5)
+        weights = rng.integers(-15, 16, size=(5, 4))
+        biases = rng.integers(-30, 31, size=5)
+        top, _ = build_sequential_svm_netlist(weights, biases, input_bits=3)
+        raw = analyze_netlist_timing(top)
+        opt = analyze_netlist_timing(top, opt_level=2)
+        assert raw.frequency_hz > 0
+        assert opt.critical_path_ms <= raw.critical_path_ms
+
+    def test_explicit_sequential_flag_still_wins(self):
+        adder = build_ripple_adder_netlist(4)
+        combinational = analyze_netlist_timing(adder, sequential=False)
+        clocked = analyze_netlist_timing(adder, sequential=True)
+        assert clocked.clock_period_ms > combinational.clock_period_ms

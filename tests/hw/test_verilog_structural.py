@@ -82,7 +82,23 @@ class TestTemplateCoverage:
 
         netlist = GateNetlist("bad")
         a = netlist.add_input("a")
-        netlist.add_gate("DFF", [a], outputs=["q"])  # no structural template
+        netlist.add_gate("ADC1", [a], outputs=["q"])  # no structural template
         netlist.mark_output("q")
         with pytest.raises(ValueError):
             netlist_to_verilog(netlist)
+
+    def test_clocked_netlist_emits_registers(self):
+        from repro.hw.netlist import GateNetlist
+        from repro.hw.verilog import netlist_to_verilog
+
+        netlist = GateNetlist("clocked")
+        a = netlist.add_input("a")
+        q = netlist.declare_dff("q", name="ff", init=1)
+        (d,) = netlist.add_gate("XOR2", [a, q], outputs=["d"])
+        netlist.bind_dff(q, d)
+        netlist.mark_output(q)
+        verilog = netlist_to_verilog(netlist)
+        assert "input  clk;" in verilog
+        assert "reg    q;" in verilog
+        assert "initial q = 1'b1;" in verilog
+        assert "always @(posedge clk) q <= d;" in verilog

@@ -1,0 +1,259 @@
+"""The bit-parallel sequential engine: edge cases and oracle equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.netlist import GateNetlist
+from repro.hw.rtl.registers import build_counter_netlist
+from repro.hw.rtl.svm_top import (
+    build_sequential_svm_netlist,
+    verify_sequential_svm_netlist,
+)
+from repro.hw.simulate import (
+    SequentialDatapathSimulator,
+    simulate_sequential_reference,
+)
+from repro.perf.bitsim import words_to_ints, words_to_signed_ints
+from repro.perf.seqsim import (
+    compile_sequential,
+    sequential_evaluator_for,
+    simulate_sequential_batch,
+)
+
+
+def _shift_register(bits: int = 3) -> GateNetlist:
+    """A serial-in shift register: input d, outputs every tap."""
+    n = GateNetlist("shift")
+    d = n.add_input("d")
+    prev = d
+    for i in range(bits):
+        prev = n.add_dff(prev, f"t[{i}]", name=f"ff{i}")
+        n.mark_output(prev)
+    return n
+
+
+class TestSequentialEngineBasics:
+    def test_counter_counts_and_wraps(self):
+        netlist = build_counter_netlist(3)
+        trace = simulate_sequential_batch(netlist, np.zeros((2, 0)), cycles=20)
+        values = [int(words_to_ints(trace[t], range(3))[0]) for t in range(20)]
+        assert values == [t % 8 for t in range(20)]
+        # Terminal count fires exactly at value 7.
+        tc = [int(trace[t, 0, 3]) for t in range(20)]
+        assert tc == [1 if t % 8 == 7 else 0 for t in range(20)]
+
+    def test_shift_register_delays_input_stream(self):
+        netlist = _shift_register(3)
+        cycles, n_vectors = 10, 5
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 2, size=(cycles, n_vectors, 1))
+        trace = simulate_sequential_batch(netlist, stream)
+        for t in range(cycles):
+            for tap in range(3):
+                # Tap k shows the input from k+1 cycles ago (zeros before t=0).
+                expected = (
+                    stream[t - tap - 1, :, 0] if t - tap - 1 >= 0 else np.zeros(n_vectors)
+                )
+                assert np.array_equal(trace[t, :, tap], expected)
+
+    def test_zero_cycle_run_returns_empty_trace(self):
+        netlist = build_counter_netlist(2)
+        trace = simulate_sequential_batch(netlist, np.zeros((4, 0)), cycles=0)
+        assert trace.shape == (0, 4, 3)
+
+    def test_empty_batch(self):
+        netlist = _shift_register(2)
+        trace = simulate_sequential_batch(
+            netlist, np.zeros((0, 1), dtype=np.int64), cycles=6
+        )
+        assert trace.shape == (6, 0, 2)
+
+    def test_negative_cycles_raise(self):
+        netlist = build_counter_netlist(2)
+        with pytest.raises(ValueError):
+            simulate_sequential_batch(netlist, np.zeros((1, 0)), cycles=-1)
+
+    def test_cycles_required_for_constant_inputs(self):
+        netlist = _shift_register(2)
+        with pytest.raises(ValueError):
+            simulate_sequential_batch(netlist, np.zeros((1, 1)))
+
+    def test_unbound_dff_raises(self):
+        n = GateNetlist("open")
+        n.declare_dff("q")
+        n.mark_output("q")
+        with pytest.raises(ValueError, match="unbound"):
+            simulate_sequential_batch(n, np.zeros((1, 0)), cycles=1)
+
+
+class TestDffInitAndReset:
+    def test_declared_init_values_are_honoured(self):
+        n = GateNetlist("init")
+        q0 = n.declare_dff("q0", name="a", init=1)
+        q1 = n.declare_dff("q1", name="b")  # powers on to 0
+        n.bind_dff(q0, q0)  # hold registers
+        n.bind_dff(q1, q1)
+        n.mark_output(q0)
+        n.mark_output(q1)
+        trace = simulate_sequential_batch(n, np.zeros((3, 0)), cycles=4)
+        assert np.array_equal(trace[:, :, 0], np.ones((4, 3)))
+        assert np.array_equal(trace[:, :, 1], np.zeros((4, 3)))
+
+    def test_init_override_by_name_net_vector_and_matrix(self):
+        netlist = build_counter_netlist(3)
+        start_5 = {"dff0": 1, "q[2]": 1}  # 0b101 via instance + Q-net keys
+        trace = simulate_sequential_batch(
+            netlist, np.zeros((1, 0)), cycles=3, init=start_5
+        )
+        assert [int(words_to_ints(trace[t], range(3))[0]) for t in range(3)] == [5, 6, 7]
+
+        vec = simulate_sequential_batch(
+            netlist, np.zeros((1, 0)), cycles=1, init=[0, 1, 1]
+        )
+        assert int(words_to_ints(vec[0], range(3))[0]) == 6
+
+        per_vector = np.array([[1, 0, 0], [0, 0, 1]])
+        both = simulate_sequential_batch(
+            netlist, np.zeros((2, 0)), cycles=1, init=per_vector
+        )
+        assert list(words_to_ints(both[0], range(3))) == [1, 4]
+
+    def test_unknown_init_key_raises(self):
+        netlist = build_counter_netlist(2)
+        with pytest.raises(KeyError):
+            simulate_sequential_batch(
+                netlist, np.zeros((1, 0)), cycles=1, init={"nope": 1}
+            )
+
+    def test_reference_walk_honours_init_too(self):
+        netlist = build_counter_netlist(3)
+        ref = simulate_sequential_reference(netlist, {}, 2, init={"dff1": 1})
+        assert sum(int(ref[0][b]) << b for b in range(3)) == 2
+        assert sum(int(ref[1][b]) << b for b in range(3)) == 3
+
+
+class TestStructuralInvalidation:
+    def test_mutation_recompiles_sequential_program(self):
+        netlist = build_counter_netlist(2)
+        first = compile_sequential(netlist)
+        assert compile_sequential(netlist) is first  # cached
+        evaluator = sequential_evaluator_for(netlist)
+        assert sequential_evaluator_for(netlist) is evaluator
+
+        # Append an observer gate: structure version moves, caches must miss.
+        (inv,) = netlist.add_gate("INV", ["q[0]"], outputs=["nq0"])
+        netlist.mark_output(inv)
+        second = compile_sequential(netlist)
+        assert second is not first
+        assert sequential_evaluator_for(netlist) is not evaluator
+        assert second.n_outputs == first.n_outputs + 1
+
+    def test_note_structural_change_invalidates(self):
+        netlist = build_counter_netlist(2)
+        first = compile_sequential(netlist)
+        netlist.note_structural_change()
+        assert compile_sequential(netlist) is not first
+
+    def test_bind_dff_moves_the_structure_version(self):
+        n = GateNetlist("late")
+        q = n.declare_dff("q")
+        n.mark_output(q)
+        before = n.structural_signature()
+        n.bind_dff(q, GateNetlist.CONST_ONE)
+        assert n.structural_signature() != before
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("bits,cycles", [(1, 5), (4, 20)])
+    def test_counter_matches_reference_per_cycle(self, bits, cycles):
+        netlist = build_counter_netlist(bits)
+        trace = simulate_sequential_batch(netlist, np.zeros((3, 0)), cycles=cycles)
+        reference = simulate_sequential_reference(netlist, {}, cycles)
+        for v in range(3):
+            assert np.array_equal(trace[:, v, :], reference)
+
+    def test_random_logic_matches_reference_per_cycle(self):
+        rng = np.random.default_rng(7)
+        netlist = _shift_register(4)
+        vectors = rng.integers(0, 2, size=(70, 1))  # >64: spans two words
+        trace = simulate_sequential_batch(netlist, vectors, cycles=6)
+        for v in range(vectors.shape[0]):
+            reference = simulate_sequential_reference(
+                netlist, {"d": int(vectors[v, 0])}, 6
+            )
+            assert np.array_equal(trace[:, v, :], reference)
+
+    def test_opt_level_is_cycle_exact(self):
+        netlist = build_counter_netlist(4)
+        raw = simulate_sequential_batch(netlist, np.zeros((2, 0)), cycles=18)
+        opt = simulate_sequential_batch(
+            netlist, np.zeros((2, 0)), cycles=18, opt_level=2
+        )
+        assert np.array_equal(raw, opt)
+
+
+class TestSequentialSVMTop:
+    def test_gate_level_svm_matches_datapath_oracle_every_cycle(self):
+        rng = np.random.default_rng(3)
+        weights = rng.integers(-15, 16, size=(6, 5))
+        biases = rng.integers(-60, 61, size=6)
+        top, ports = build_sequential_svm_netlist(weights, biases, input_bits=3)
+        codes = rng.integers(0, 8, size=(40, 5))
+        oracle = SequentialDatapathSimulator(weights, biases)
+        assert verify_sequential_svm_netlist(top, ports, codes, oracle)
+        assert verify_sequential_svm_netlist(top, ports, codes, oracle, opt_level=2)
+
+    def test_predictions_match_run_batch(self):
+        rng = np.random.default_rng(4)
+        weights = rng.integers(-7, 8, size=(5, 3))
+        biases = rng.integers(-20, 21, size=5)
+        top, ports = build_sequential_svm_netlist(weights, biases, input_bits=2)
+        codes = rng.integers(0, 4, size=(90, 3))
+        trace = simulate_sequential_batch(
+            top, ports.input_matrix(codes), cycles=ports.n_classifiers
+        )
+        predictions = words_to_ints(trace[-1], ports.pred_lanes())
+        expected = SequentialDatapathSimulator(weights, biases).run_batch(codes)
+        assert np.array_equal(predictions, expected)
+
+    def test_signed_scores_decode_exactly(self):
+        weights = np.array([[-3, 2], [1, -4]])
+        biases = np.array([-5, 7])
+        top, ports = build_sequential_svm_netlist(weights, biases, input_bits=2)
+        codes = np.array([[3, 1], [0, 2]])
+        trace = simulate_sequential_batch(
+            top, ports.input_matrix(codes), cycles=2
+        )
+        oracle = SequentialDatapathSimulator(weights, biases)
+        for s in range(codes.shape[0]):
+            expected = [step.score for step in oracle.run(codes[s]).trace]
+            got = [
+                int(words_to_signed_ints(trace[t, s : s + 1], ports.score_lanes())[0])
+                for t in range(2)
+            ]
+            assert got == expected
+
+    def test_input_matrix_validates_range(self):
+        top, ports = build_sequential_svm_netlist(
+            np.array([[1, 1]]), np.array([0]), input_bits=2
+        )
+        with pytest.raises(ValueError):
+            ports.input_matrix(np.array([[4, 0]]))  # 4 needs 3 bits
+        with pytest.raises(ValueError):
+            ports.input_matrix(np.array([[1, 2, 3]]))  # wrong feature count
+
+
+class TestDesignIntegration:
+    def test_design_gate_level_agrees_with_model(self):
+        from repro.core.design_flow import fast_config, run_flow
+
+        result = run_flow("redwine", "ours", fast_config(n_samples=150))
+        design = result.design
+        X = result.split.X_test[:25]
+        assert design.verify_gate_level(X)
+        gate_ids = design.simulate_gate_level(X)
+        assert np.array_equal(gate_ids, design.simulate_batch(X))
+        # The netlist is built once and cached on the design.
+        assert design.gate_netlist()[0] is design.gate_netlist()[0]

@@ -76,6 +76,46 @@ def test_http_stats_and_models_routes(endpoint, request_rows):
     assert endpoint.healthz()["status"] == "ok"
 
 
+def test_http_keep_alive_reuses_one_connection(endpoint, request_rows):
+    """Sequential requests ride one persistent HTTP/1.1 connection."""
+    endpoint.healthz()
+    conn = endpoint._conn
+    assert conn is not None and conn.sock is not None
+    local_port = conn.sock.getsockname()[1]
+    for _ in range(3):
+        endpoint.predict(MODEL_NAME, list(request_rows[0]))
+        endpoint.stats()
+    assert endpoint._conn is conn, "client dropped its persistent connection"
+    assert conn.sock.getsockname()[1] == local_port, "socket was re-established"
+
+
+def test_http_post_to_unknown_route_does_not_poison_the_connection(
+    endpoint, request_rows
+):
+    """A 404 whose body the server never read must not desync keep-alive."""
+    with pytest.raises(HTTPError) as err:
+        endpoint._request("/nope", {"model": MODEL_NAME, "features": [0.5] * 64})
+    assert err.value.status == 404
+    # The very next requests on this client must still parse cleanly.
+    assert endpoint.healthz()["status"] == "ok"
+    out = endpoint.predict(MODEL_NAME, list(request_rows[0]))
+    assert "class_id" in out
+
+
+def test_http_client_survives_server_side_close(endpoint, request_rows):
+    """A dropped kept socket is re-established transparently (one retry)."""
+    import socket
+
+    endpoint.healthz()
+    # Simulate the server idle-timing us out: the fd stays valid but the
+    # connection is dead, exactly like a peer close.
+    endpoint._conn.sock.shutdown(socket.SHUT_RDWR)
+    out = endpoint.predict(MODEL_NAME, list(request_rows[0]))
+    assert "class_id" in out
+    endpoint.close()  # explicit close re-opens lazily
+    assert endpoint.healthz()["status"] == "ok"
+
+
 def test_http_error_codes(endpoint, request_rows):
     with pytest.raises(HTTPError) as err:
         endpoint.predict(MODEL_NAME, [0.1, 0.2])  # wrong feature count
