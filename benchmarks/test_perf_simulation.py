@@ -3,9 +3,11 @@
 Runs the fast configuration of :mod:`repro.perf.benchmark`, asserts the
 ISSUE's acceptance floors — vectorized ``run_batch`` at least 20x the
 per-sample scalar loop on a 1000-sample batch, compiled bit-parallel gate
-simulation at least 10x the interpreted walk on 64+ vector sweeps — and
-refreshes ``BENCH_simulation.json`` at the repo root so the throughput
-trajectory is tracked from this PR onward.
+simulation at least 10x the interpreted walk on 64+ vector sweeps, the
+``codegen`` engine at least 3x ``interp`` on the 45-gate multiplier's
+packed hot path — checks the roofline section is recorded, and refreshes
+``BENCH_simulation.json`` at the repo root so the throughput trajectory is
+tracked from this PR onward.
 
 Marked ``perf_smoke`` so it can be selected alone (``pytest -m perf_smoke``)
 as a quick regression probe in future PRs.
@@ -30,6 +32,10 @@ MIN_SEQUENTIAL_SPEEDUP = 10.0
 #: Minimum gate-count reduction the pass pipeline must achieve on the
 #: hardwired constant-datapath workloads (measured: >60% on the MAC).
 MIN_OPT_REDUCTION_PERCENT = 20.0
+#: Minimum speedup of the ``codegen`` engine over ``interp`` on the packed
+#: hot path (``evaluate_packed_slots``) of the 45-gate array multiplier —
+#: the ISSUE 6 floor (measured: 7-8x on the reference machine).
+MIN_ENGINE_SPEEDUP = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -87,9 +93,47 @@ def test_netlist_optimization_reduction_floor(bench_results):
 
 
 @pytest.mark.perf_smoke
+def test_engine_speedup_floor(bench_results):
+    """The ``codegen`` engine must be at least 3x ``interp`` gate-evals/s on
+    the 45-gate array-multiplier packed hot path, and every engine must stay
+    bit-exact (the cross-engine equivalence sweep runs inside the benchmark)."""
+    record = bench_results["gate_level"]["array_multiplier_5x5"]
+    assert record["codegen_speedup_vs_interp"] >= MIN_ENGINE_SPEEDUP, (
+        f"codegen engine only {record['codegen_speedup_vs_interp']:.2f}x over "
+        f"interp on the 45-gate multiplier (floor {MIN_ENGINE_SPEEDUP}x)"
+    )
+    for name, rec in bench_results["gate_level"].items():
+        assert rec["engines_equivalent"] == 1.0, f"{name}: engines diverged"
+        assert rec["fused_speedup_vs_interp"] > 0
+        assert rec["codegen_speedup_vs_interp"] > 0
+    for name, rec in bench_results["sequential_sim"].items():
+        assert rec["engines_equivalent"] == 1.0, f"{name}: engines diverged"
+        assert rec["auto_engine_is_codegen"] == 1.0, (
+            f"{name}: auto did not resolve the sequential cone to codegen"
+        )
+
+
+@pytest.mark.perf_smoke
+def test_roofline_recorded(bench_results):
+    """The roofline section must relate each engine's throughput to the
+    measured memcpy bandwidth of this machine."""
+    roofline = bench_results["roofline"]
+    assert roofline["memcpy_bytes_per_s"] > 0
+    assert set(roofline["engines"]) == {"interp", "fused", "codegen"}
+    for engine, rec in roofline["engines"].items():
+        assert rec["gate_evals_per_s"] > 0, f"{engine}: no throughput recorded"
+        assert rec["effective_bytes_per_s"] > 0
+        assert 0 < rec["fraction_of_memcpy"], engine
+
+
+@pytest.mark.perf_smoke
 def test_record_throughput_trajectory(bench_results):
     path = write_benchmark(bench_results, REPO_ROOT / "BENCH_simulation.json")
     assert path.exists()
     assert bench_results["min_speedups"]["datapath_batch"] > 1.0
     assert bench_results["min_speedups"]["gate_level_bitsim"] > 1.0
     assert bench_results["min_speedups"]["sequential_sim"] > 1.0
+    assert (
+        bench_results["min_speedups"]["engine_codegen_vs_interp_45g_multiplier"]
+        > 1.0
+    )

@@ -5,12 +5,21 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python scripts/bench_simulation.py           # fast config
     PYTHONPATH=src python scripts/bench_simulation.py --full    # larger sweeps
+    PYTHONPATH=src python scripts/bench_simulation.py --compare # diff, no write
 
-Records samples/s for the vectorized datapath simulators and gate-evals/s
-for the compiled bit-parallel netlist engine, next to the per-path speedup
-over the interpreted seed implementation.  The perf-smoke benchmark
-(``pytest benchmarks/test_perf_simulation.py``) runs the same measurements
-and asserts the speedup floors, so simulator regressions surface in CI.
+Records samples/s for the vectorized datapath simulators, gate-evals/s for
+every execution engine (``interp`` / ``fused`` / ``codegen``) and a
+roofline section relating each engine to the measured memcpy bandwidth,
+next to the per-path speedup over the interpreted seed implementation.
+The perf-smoke benchmark (``pytest benchmarks/test_perf_simulation.py``)
+runs the same measurements and asserts the speedup floors, so simulator
+regressions surface in CI.
+
+``--compare [--baseline PATH]`` runs a fresh fast-config benchmark and
+prints every tracked metric that dropped more than 10% vs the committed
+``BENCH_simulation.json`` (or ``PATH``) instead of overwriting it.  It
+always exits 0 — CI runs it non-blocking after the floors, as an advisory
+signal only (absolute numbers are machine-dependent).
 """
 
 import sys

@@ -130,6 +130,16 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="shard flow runs across this many worker processes (0 = all cores)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("interp", "fused", "codegen", "auto"),
+        default="auto",
+        help="bit-parallel execution engine for the gate-level verification "
+        "sweeps: interp = one numpy dispatch per gate op, fused = one "
+        "gather/op/scatter per (layer, opcode) group, codegen = one "
+        "generated+compiled kernel per netlist structure, auto = pick per "
+        "program size (all bit-exact; speed only)",
+    )
     _add_common_arguments(parser)
     args = parser.parse_args(argv)
     config = _build_config(args)
@@ -143,6 +153,7 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache=_build_cache(args),
         opt_level=args.opt_level,
+        engine=args.engine,
     )
     print(format_table1(table))
     optimization = format_table1_optimization(table)

@@ -257,14 +257,18 @@ class SequentialSVMDesign:
         sw_ids = self.model.predict_ids(X)
         return bool(np.array_equal(hw_ids, sw_ids))
 
-    def simulate_gate_level(self, X: np.ndarray, opt_level: int = 0) -> np.ndarray:
+    def simulate_gate_level(
+        self, X: np.ndarray, opt_level: int = 0, engine: str = "auto"
+    ) -> np.ndarray:
         """Class ids predicted by clocking the explicit gate-level netlist.
 
         Every sample's quantized codes are held on the input pins for
         ``n_classifiers`` cycles through the bit-parallel sequential engine;
         the prediction is the best-class register's load value during the
         final cycle.  ``opt_level > 0`` simulates the pass-optimized
-        combinational regions instead of the raw ones.
+        combinational regions instead of the raw ones; ``engine`` selects
+        the execution backend for the per-cycle cone
+        (see :mod:`repro.perf.engines`).
         """
         from repro.perf.bitsim import words_to_ints
         from repro.perf.seqsim import simulate_sequential_batch
@@ -279,10 +283,13 @@ class SequentialSVMDesign:
             cycles=ports.n_classifiers,
             library=self.library,
             opt_level=opt_level,
+            engine=engine,
         )
         return words_to_ints(trace[-1], ports.pred_lanes())
 
-    def verify_gate_level(self, X: np.ndarray, opt_level: int = 0) -> bool:
+    def verify_gate_level(
+        self, X: np.ndarray, opt_level: int = 0, engine: str = "auto"
+    ) -> bool:
         """Assert the gate-level netlist bit-exact against the cycle oracle.
 
         Checks every cycle of every sample: score, best score, best class
@@ -300,6 +307,7 @@ class SequentialSVMDesign:
             oracle=self.simulator,
             library=self.library,
             opt_level=opt_level,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------ #

@@ -133,6 +133,7 @@ def generate_table1(
     jobs: Optional[int] = None,
     cache: CacheSpec = None,
     opt_level: Optional[int] = None,
+    engine: str = "auto",
 ) -> Table1:
     """Run the flow for every (dataset, model) pair the paper reports.
 
@@ -175,6 +176,11 @@ def generate_table1(
         level over each design's hardwired constant-MAC datapath and attach
         the optimized-vs-raw gate counts to :attr:`Table1Entry.opt_stats`
         (rendered by :func:`format_table1_optimization`).
+    engine:
+        Bit-parallel execution engine used by the gate-level verification
+        sweeps (``'interp'``, ``'fused'``, ``'codegen'`` or ``'auto'`` —
+        see :mod:`repro.perf.engines`).  All engines are bit-exact; this
+        only trades verification wall-clock.
     """
     datasets = list(datasets) if datasets is not None else list(TABLE1_DATASETS)
     rows: List[tuple] = []
@@ -200,7 +206,9 @@ def generate_table1(
             verified = bool(result.design.verify_against_model(result.split.X_test))
         seq_verified: Optional[bool] = None
         if verify_sequential and kind == "ours":
-            seq_verified = bool(result.design.verify_gate_level(result.split.X_test))
+            seq_verified = bool(
+                result.design.verify_gate_level(result.split.X_test, engine=engine)
+            )
         entry = Table1Entry(
             dataset=dataset,
             model=model,

@@ -418,6 +418,7 @@ def verify_sequential_svm_netlist(
     oracle=None,
     library=None,
     opt_level: int = 0,
+    engine: str = "auto",
 ) -> bool:
     """Assert the gate-level top bit-exact against the behavioural oracle.
 
@@ -455,6 +456,7 @@ def verify_sequential_svm_netlist(
         cycles=cycles,
         library=library,
         opt_level=opt_level,
+        engine=engine,
     )
     # Stack the oracle traces into (cycles, n_samples) planes once, then
     # decode each cycle's buses for the whole batch in one vectorized call.

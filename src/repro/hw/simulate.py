@@ -73,6 +73,7 @@ def simulate_combinational_batch(
     input_bits: np.ndarray,
     library: Optional[CellLibrary] = None,
     opt_level: int = 0,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Bit-parallel sweep: primary-output values for a batch of input vectors.
 
@@ -82,11 +83,14 @@ def simulate_combinational_batch(
     ``uint64`` word — this is the fast path for randomized verification
     sweeps (see :mod:`repro.perf`).  ``opt_level > 0`` evaluates the
     :mod:`repro.hw.opt` pass-optimized program instead of the raw one (same
-    outputs, fewer ops; 0 = raw, the oracle).
+    outputs, fewer ops; 0 = raw, the oracle); ``engine`` selects the
+    execution backend (see :mod:`repro.perf.engines`).
     """
     from repro.perf.bitsim import simulate_netlist_batch
 
-    return simulate_netlist_batch(netlist, input_bits, library, opt_level=opt_level)
+    return simulate_netlist_batch(
+        netlist, input_bits, library, opt_level=opt_level, engine=engine
+    )
 
 
 def simulate_combinational_reference(

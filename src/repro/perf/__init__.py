@@ -14,6 +14,15 @@ that with a two-stage compile -> bitsim pipeline:
   test vectors are packed per ``uint64`` word and every op is one numpy
   bitwise kernel, so a sweep costs ``O(gates * vectors / 64)`` instead of
   ``O(gates * vectors)`` interpreted steps.
+* :mod:`repro.perf.engines` — fused and code-generating execution backends
+  behind one ``engine='interp'|'fused'|'codegen'|'auto'`` selector:
+  ``fused`` levelizes the op stream and executes one gather/op/scatter per
+  (layer, opcode) group; ``codegen`` emits the whole cone as one generated,
+  ``compile()``d Python function (cached per netlist structure) that runs
+  on numpy words or whole-row Python bigints depending on batch size.
+  Both are bit-exact vs ``interp``; the selector threads through
+  :func:`~repro.perf.bitsim.evaluator_for`, the sequential engine, the
+  benchmarks and the ``repro-table1 --engine`` flag.
 * :mod:`repro.perf.seqsim` — the *sequential* engine: clocked netlists
   (real D flip-flops, feedback loops) split at their register boundaries
   into one combinational cone program, then clocked N cycles with packed
@@ -57,6 +66,15 @@ from repro.perf.bitsim import (
     words_to_signed_ints,
 )
 from repro.perf.compile import CompiledProgram, compile_netlist
+from repro.perf.engines import (
+    ENGINES,
+    CodegenEvaluator,
+    FusedEvaluator,
+    generate_kernel_source,
+    levelize,
+    make_evaluator,
+    resolve_engine,
+)
 from repro.perf.flow_bench import run_flow_benchmark
 from repro.perf.seqsim import (
     SequentialEvaluator,
@@ -69,13 +87,20 @@ from repro.perf.seqsim import (
 __all__ = [
     "run_flow_benchmark",
     "BitParallelEvaluator",
+    "CodegenEvaluator",
     "CompiledProgram",
+    "ENGINES",
+    "FusedEvaluator",
     "SequentialEvaluator",
     "SequentialProgram",
     "compile_netlist",
     "compile_sequential",
     "evaluator_for",
+    "generate_kernel_source",
+    "levelize",
+    "make_evaluator",
     "pack_vectors",
+    "resolve_engine",
     "sequential_evaluator_for",
     "simulate_netlist_batch",
     "simulate_sequential_batch",

@@ -209,6 +209,24 @@ class BitParallelEvaluator:
                 raise RuntimeError(f"unknown opcode {op}")
         return state
 
+    def evaluate_packed_slots(
+        self, packed_inputs: np.ndarray, slots: Sequence[int]
+    ) -> np.ndarray:
+        """Run the program and return only the requested slot rows.
+
+        The narrow-waist API the execution engines specialise: the interp
+        engine computes the full state and indexes it, while the codegen
+        engine compiles a dedicated kernel per slot tuple that never
+        materialises unrequested slots.  ``slots`` may repeat and may name
+        constant or input slots (sequential cones do both).
+
+        Example::
+
+            rows = evaluator.evaluate_packed_slots(packed, program.output_slots)
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        return self.evaluate_packed(packed_inputs)[slots]
+
     def evaluate(self, input_bits: np.ndarray) -> np.ndarray:
         """Evaluate primary outputs for a ``(n_vectors, n_inputs)`` bit matrix.
 
@@ -216,8 +234,8 @@ class BitParallelEvaluator:
         ``program.output_names`` order.
         """
         packed, n_vectors = pack_vectors(input_bits)
-        state = self.evaluate_packed(packed)
-        return unpack_vectors(state[self.program.output_slots], n_vectors)
+        rows = self.evaluate_packed_slots(packed, self.program.output_slots)
+        return unpack_vectors(rows, n_vectors)
 
     def evaluate_nets(self, input_bits: np.ndarray) -> Dict[str, np.ndarray]:
         """Evaluate and return the value of every *named* net.
@@ -227,10 +245,9 @@ class BitParallelEvaluator:
         :func:`repro.hw.simulate.simulate_combinational`'s result dict.
         """
         packed, n_vectors = pack_vectors(input_bits)
-        state = self.evaluate_packed(packed)
         named = sorted(self.program.net_slots.items(), key=lambda kv: kv[1])
         slots = np.asarray([slot for _, slot in named], dtype=np.int64)
-        bits = unpack_vectors(state[slots], n_vectors)
+        bits = unpack_vectors(self.evaluate_packed_slots(packed, slots), n_vectors)
         return {net: bits[:, k] for k, (net, _) in enumerate(named)}
 
 
@@ -238,33 +255,42 @@ def evaluator_for(
     netlist: GateNetlist,
     library: Optional[CellLibrary] = None,
     opt_level: int = 0,
+    engine: str = "auto",
 ) -> BitParallelEvaluator:
     """Compile (cached) and wrap a netlist for bit-parallel evaluation.
 
     ``opt_level`` selects the :mod:`repro.hw.opt` pipeline level the program
-    is compiled at (0 = raw netlist, the oracle).  Evaluators are cached per
-    compiled program, so alternating between levels does not rewrap.
+    is compiled at (0 = raw netlist, the oracle); ``engine`` selects the
+    execution engine (``'interp'``, ``'fused'``, ``'codegen'`` or
+    ``'auto'`` — see :mod:`repro.perf.engines`).  Evaluators are cached per
+    compiled program *and* resolved engine, so alternating between levels or
+    engines does not rewrap, and any structural mutation of the netlist
+    drops the evaluator together with its compiled kernels.
 
     Example::
 
-        evaluator = evaluator_for(netlist, opt_level=2)
+        evaluator = evaluator_for(netlist, opt_level=2, engine="codegen")
         evaluator.evaluate(vectors)          # bit-parallel sweep
         evaluator.evaluate_single([0, 1, 1]) # scalar fast path
     """
+    from repro.perf.engines import make_evaluator, resolve_engine
+
     library = library or EGFET_PDK
     program = compile_netlist(netlist, library, opt_level=opt_level)
+    resolved = resolve_engine(engine, program)
     cache = getattr(netlist, "_bitsim_evaluator_cache", None)
     if not isinstance(cache, dict):
         cache = {}
         netlist._bitsim_evaluator_cache = cache
-    # Same key shape as the compile cache; the `is`-check on the program
-    # guards against a recycled library id after garbage collection.
+    # Same key shape as the compile cache plus the resolved engine; the
+    # `is`-check on the program guards against a recycled library id after
+    # garbage collection.
     signature = netlist.structural_signature()
-    key = (id(library), signature, int(opt_level))
+    key = (id(library), signature, int(opt_level), resolved)
     cached = cache.get(key)
     if cached is not None and cached[0] is program:
         return cached[1]
-    evaluator = BitParallelEvaluator(program)
+    evaluator = make_evaluator(program, resolved)
     # Evaluators wrapped for older structures can never be served again.
     for stale in [k for k in cache if k[1] != signature]:
         del cache[stale]
@@ -277,6 +303,7 @@ def simulate_netlist_batch(
     input_bits: np.ndarray,
     library: Optional[CellLibrary] = None,
     opt_level: int = 0,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Bit-parallel sweep of a netlist: outputs for a batch of input vectors.
 
@@ -284,7 +311,8 @@ def simulate_netlist_batch(
     ``netlist.inputs`` order; the result has shape ``(n_vectors, n_outputs)``
     with columns in ``netlist.outputs`` order.  ``opt_level > 0`` evaluates
     the pass-optimized program instead of the raw one (same outputs, fewer
-    ops — bit-exactness is enforced by the equivalence suite).
+    ops — bit-exactness is enforced by the equivalence suite); ``engine``
+    selects the execution backend (see :mod:`repro.perf.engines`).
 
     Example::
 
@@ -292,7 +320,9 @@ def simulate_netlist_batch(
         vectors = rng.integers(0, 2, size=(256, len(netlist.inputs)))
         outputs = simulate_netlist_batch(netlist, vectors, opt_level=2)
     """
-    return evaluator_for(netlist, library, opt_level=opt_level).evaluate(input_bits)
+    return evaluator_for(
+        netlist, library, opt_level=opt_level, engine=engine
+    ).evaluate(input_bits)
 
 
 def words_to_ints(bits: np.ndarray, lanes: Sequence[int]) -> np.ndarray:

@@ -71,6 +71,24 @@ OPCODE_NAMES = {
     OP_MUX2: "MUX2",
 }
 
+#: Number of operand slots each primitive op actually reads (trailing unused
+#: operand columns are always 0 / ``SLOT_ZERO``).  The levelizer, the fused
+#: executor and the disassembler all consult this instead of guessing from
+#: the operand columns.
+OP_ARITY = {
+    OP_BUF: 1,
+    OP_NOT: 1,
+    OP_AND2: 2,
+    OP_OR2: 2,
+    OP_XOR2: 2,
+    OP_NAND2: 2,
+    OP_NOR2: 2,
+    OP_XNOR2: 2,
+    OP_AND3: 3,
+    OP_OR3: 3,
+    OP_MUX2: 3,
+}
+
 #: Cells that lower to exactly one primitive op (operand order preserved).
 _DIRECT_LOWERING = {
     "INV": OP_NOT,
@@ -185,14 +203,26 @@ class CompiledProgram:
     def n_inputs(self) -> int:
         return len(self.input_names)
 
-    def op_listing(self) -> List[str]:  # pragma: no cover - debugging aid
-        """Readable disassembly of the program."""
+    def op_listing(self) -> List[str]:
+        """Readable disassembly of the program.
+
+        Arity-aware: each line shows only the operand slots its opcode
+        actually reads (``NOT(s5)``, not ``NOT(s5, s0, s0)``), so lowered
+        programs disassemble without phantom operands.
+
+        Example::
+
+            compile_netlist(netlist).op_listing()[:2]
+            # ['s3 = NOT(s2)', 's4 = AND2(s2, s3)']
+        """
         lines = []
         for k in range(self.n_ops):
-            a, b, c = (int(x) for x in self.operands[k])
+            opcode = int(self.opcodes[k])
+            operands = ", ".join(
+                f"s{int(self.operands[k, i])}" for i in range(OP_ARITY[opcode])
+            )
             lines.append(
-                f"s{int(self.dsts[k])} = {OPCODE_NAMES[int(self.opcodes[k])]}"
-                f"(s{a}, s{b}, s{c})"
+                f"s{int(self.dsts[k])} = {OPCODE_NAMES[opcode]}({operands})"
             )
         return lines
 

@@ -1,0 +1,559 @@
+"""Fused and code-generating execution engines for compiled netlist programs.
+
+:class:`~repro.perf.bitsim.BitParallelEvaluator` (the ``interp`` engine)
+issues one numpy dispatch per gate op, so the sub-200-gate netlists behind
+Table I are dispatch-bound: each ``state[dst] = state[a] & state[b]`` costs
+far more in ufunc dispatch than in actual 64-bit word work.  This module
+provides two drop-in replacements that execute the *same*
+:class:`~repro.perf.compile.CompiledProgram` bit-exactly while paying that
+overhead once per group — or not at all:
+
+``fused``
+    Levelize the flat op stream into topological layers, group each layer by
+    opcode, and execute each group as one vectorized gather -> op -> scatter
+    over an ``(n_ops_in_group, n_words)`` operand matrix.  Slots are
+    renumbered so every group writes one contiguous block of the state
+    matrix, letting each group land with ``out=`` into a state slice.  One
+    numpy dispatch per (layer, opcode) instead of per op; wins grow with
+    netlist width (ops per layer).
+
+``codegen``
+    Emit the whole cone as one generated Python function of chained bitwise
+    expressions — dead scratch slots collapse into subexpressions, ops feeding
+    a single consumer are inlined — then ``compile()`` it once per netlist
+    structure.  The generated source is *domain-neutral* (``NOT`` is spelled
+    ``x ^ ONE``, ``MUX2`` is decomposed into AND/OR/XOR), so the very same
+    kernel runs on two operand domains:
+
+    * **bigint** — each net's whole packed row as one arbitrary-precision
+      Python int (``int.from_bytes`` of the row).  Python's bignum kernels
+      chew 64-bit limbs in a C loop with *zero* numpy dispatch, which is
+      ~an order of magnitude faster than per-op numpy for small word counts.
+    * **numpy** — the usual ``(n_words,)`` ``uint64`` rows, used for large
+      batches where bignum temporaries would outgrow the cache.
+
+    The evaluator switches domains on ``n_words`` at call time.
+
+``auto`` picks ``codegen`` for program sizes where one generated function is
+compilable and fastest, and falls back to ``fused`` for very large programs
+(CPython's compiler and the per-structure compile cost scale with program
+size; gather/scatter amortizes better there).
+
+Both engines subclass :class:`BitParallelEvaluator`, so the scalar
+``evaluate_single`` fast path and the packed API are shared, and both are
+validated bit-exact against ``interp`` across the netlist zoo (combinational
+and sequential, all opt levels) by ``tests/perf/test_engines.py``.
+
+Typical use goes through the ``engine=`` selector on the public entry
+points rather than these classes directly::
+
+    evaluator_for(netlist, engine="codegen").evaluate(vectors)
+    simulate_sequential_batch(netlist, stream, engine="auto")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.perf.bitsim import BitParallelEvaluator, _ALL_ONES
+from repro.perf.compile import (
+    OP_AND2,
+    OP_AND3,
+    OP_ARITY,
+    OP_BUF,
+    OP_MUX2,
+    OP_NAND2,
+    OP_NOR2,
+    OP_NOT,
+    OP_OR2,
+    OP_OR3,
+    OP_XNOR2,
+    OP_XOR2,
+    CompiledProgram,
+    SLOT_ONE,
+    SLOT_ZERO,
+)
+
+#: The recognised engine names, in documentation order.
+ENGINES = ("interp", "fused", "codegen", "auto")
+
+#: ``auto`` resolves to ``codegen`` up to this many ops, ``fused`` beyond.
+#: Generated-function compile time and bytecode size grow linearly with the
+#: program; past a few thousand ops the per-structure compile stops paying
+#: for itself and gather/scatter fusion amortizes better.
+AUTO_CODEGEN_MAX_OPS = 20_000
+
+#: The codegen engine runs on Python bigints (one arbitrary-precision int
+#: per net row) up to this many words per row, and on numpy arrays beyond.
+#: Measured crossover on the 45-gate array multiplier: bigints win ~10x at
+#: 4 words and still ~3x at 128; numpy wins past ~512 words.
+BIGINT_MAX_WORDS = 256
+
+
+def resolve_engine(engine: str, program: CompiledProgram) -> str:
+    """Resolve an ``engine=`` argument to a concrete engine name.
+
+    ``auto`` picks ``codegen`` for programs up to
+    :data:`AUTO_CODEGEN_MAX_OPS` ops and ``fused`` beyond; the three
+    concrete names pass through.  Unknown names raise ``ValueError``.
+
+    Example::
+
+        resolve_engine("auto", compile_netlist(netlist))   # 'codegen'
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "auto":
+        return "codegen" if program.n_ops <= AUTO_CODEGEN_MAX_OPS else "fused"
+    return engine
+
+
+def levelize(program: CompiledProgram) -> List[List[int]]:
+    """Topological layers of a program's op stream.
+
+    Returns a list of layers, each a list of op indices whose operands are
+    all produced in earlier layers (or are constants / primary inputs).
+    Layer ``k`` therefore only depends on layers ``< k``, so all ops inside
+    one layer can execute in any order — the basis of super-op fusion.
+
+    Example::
+
+        layers = levelize(compile_netlist(netlist))
+        sum(len(l) for l in layers) == compile_netlist(netlist).n_ops
+    """
+    level_of_slot = [0] * program.n_slots
+    opcodes = program.opcodes.tolist()
+    operands = program.operands.tolist()
+    dsts = program.dsts.tolist()
+    layers: List[List[int]] = []
+    for k in range(program.n_ops):
+        a, b, c = operands[k]
+        arity = OP_ARITY[opcodes[k]]
+        level = level_of_slot[a]
+        if arity > 1 and level_of_slot[b] > level:
+            level = level_of_slot[b]
+        if arity > 2 and level_of_slot[c] > level:
+            level = level_of_slot[c]
+        level_of_slot[dsts[k]] = level + 1
+        while len(layers) <= level:
+            layers.append([])
+        layers[level].append(k)
+    return layers
+
+
+# --------------------------------------------------------------------------- #
+# Fused gather -> op -> scatter execution
+# --------------------------------------------------------------------------- #
+class FusedEvaluator(BitParallelEvaluator):
+    """Executes a program as one numpy dispatch per (layer, opcode) group.
+
+    Construction levelizes the program, groups each layer by opcode and
+    renumbers slots so each group's destinations form one contiguous block:
+    execution gathers the group's operands with a single fancy index,
+    applies the bitwise op over the whole ``(n_ops_in_group, n_words)``
+    matrix and writes straight into the state slice with ``out=``.
+    Single-op groups skip the gather and run like the interpreter.
+
+    Bit-exact vs the interp engine by construction (same SSA program, only
+    the execution schedule changes).
+
+    Example::
+
+        out = FusedEvaluator(compile_netlist(netlist)).evaluate(vectors)
+    """
+
+    def __init__(self, program: CompiledProgram) -> None:
+        super().__init__(program)
+        opcodes = program.opcodes.tolist()
+        operands = program.operands.tolist()
+        dsts = program.dsts.tolist()
+        # Renumber: constants keep 0/1, inputs become 2..2+n_inputs-1, then
+        # destinations in execution order so each group is contiguous.
+        perm = np.full(program.n_slots, -1, dtype=np.int64)
+        perm[SLOT_ZERO] = SLOT_ZERO
+        perm[SLOT_ONE] = SLOT_ONE
+        next_slot = 2
+        for s in program.input_slots.tolist():
+            perm[s] = next_slot
+            next_slot += 1
+        plan: List[Tuple[int, List[int]]] = []
+        for layer in levelize(program):
+            by_opcode: Dict[int, List[int]] = {}
+            for k in layer:
+                by_opcode.setdefault(opcodes[k], []).append(k)
+            for opcode in sorted(by_opcode):
+                plan.append((opcode, by_opcode[opcode]))
+        for _, ks in plan:
+            for k in ks:
+                perm[dsts[k]] = next_slot
+                next_slot += 1
+        assert next_slot == program.n_slots and int(perm.min()) >= 0
+        # Each group: (opcode, gather_index|None, n_ops, dst_lo, a, b, c)
+        # where a/b/c are the renumbered direct operands of single-op groups.
+        groups = []
+        for opcode, ks in plan:
+            size = len(ks)
+            lo = int(perm[dsts[ks[0]]])
+            if size == 1:
+                a, b, c = operands[ks[0]]
+                groups.append(
+                    (opcode, None, 1, lo, int(perm[a]), int(perm[b]), int(perm[c]))
+                )
+            else:
+                cols: List[int] = []
+                for i in range(OP_ARITY[opcode]):
+                    cols.extend(int(perm[operands[k][i]]) for k in ks)
+                gather = np.asarray(cols, dtype=np.intp)
+                groups.append((opcode, gather, size, lo, 0, 0, 0))
+        self._perm = perm
+        self._groups = groups
+
+    # ------------------------------------------------------------------ #
+    def _run(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Execute all groups; returns the state in *renumbered* slot order."""
+        program = self.program
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.ndim != 2 or packed_inputs.shape[0] != program.n_inputs:
+            raise ValueError(
+                f"expected packed inputs of shape ({program.n_inputs}, n_words), "
+                f"got {packed_inputs.shape}"
+            )
+        n_words = packed_inputs.shape[1]
+        state = np.zeros((program.n_slots, n_words), dtype=np.uint64)
+        state[SLOT_ONE] = _ALL_ONES
+        if program.n_inputs:
+            state[2 : 2 + program.n_inputs] = packed_inputs
+        for opcode, gather, size, lo, a, b, c in self._groups:
+            if size == 1:
+                if opcode == OP_AND2:
+                    state[lo] = state[a] & state[b]
+                elif opcode == OP_XOR2:
+                    state[lo] = state[a] ^ state[b]
+                elif opcode == OP_OR2:
+                    state[lo] = state[a] | state[b]
+                elif opcode == OP_NOT:
+                    state[lo] = ~state[a]
+                elif opcode == OP_BUF:
+                    state[lo] = state[a]
+                elif opcode == OP_MUX2:
+                    sel = state[c]
+                    state[lo] = (state[b] & sel) | (state[a] & ~sel)
+                elif opcode == OP_NAND2:
+                    state[lo] = ~(state[a] & state[b])
+                elif opcode == OP_NOR2:
+                    state[lo] = ~(state[a] | state[b])
+                elif opcode == OP_XNOR2:
+                    state[lo] = ~(state[a] ^ state[b])
+                elif opcode == OP_AND3:
+                    state[lo] = state[a] & state[b] & state[c]
+                elif opcode == OP_OR3:
+                    state[lo] = state[a] | state[b] | state[c]
+                else:  # pragma: no cover - compiler emits only known opcodes
+                    raise RuntimeError(f"unknown opcode {opcode}")
+                continue
+            # Multi-op group: one gather (a fancy-index copy, so out= below
+            # can never alias it), one vectorized op, one contiguous store.
+            buf = state[gather]
+            dst = state[lo : lo + size]
+            if opcode == OP_AND2:
+                np.bitwise_and(buf[:size], buf[size:], out=dst)
+            elif opcode == OP_XOR2:
+                np.bitwise_xor(buf[:size], buf[size:], out=dst)
+            elif opcode == OP_OR2:
+                np.bitwise_or(buf[:size], buf[size:], out=dst)
+            elif opcode == OP_NOT:
+                np.invert(buf, out=dst)
+            elif opcode == OP_BUF:
+                np.copyto(dst, buf)
+            elif opcode == OP_MUX2:
+                av, bv, sel = buf[:size], buf[size : 2 * size], buf[2 * size :]
+                np.bitwise_and(bv, sel, out=bv)
+                np.invert(sel, out=sel)
+                np.bitwise_and(av, sel, out=av)
+                np.bitwise_or(bv, av, out=dst)
+            elif opcode == OP_NAND2:
+                np.bitwise_and(buf[:size], buf[size:], out=dst)
+                np.invert(dst, out=dst)
+            elif opcode == OP_NOR2:
+                np.bitwise_or(buf[:size], buf[size:], out=dst)
+                np.invert(dst, out=dst)
+            elif opcode == OP_XNOR2:
+                np.bitwise_xor(buf[:size], buf[size:], out=dst)
+                np.invert(dst, out=dst)
+            elif opcode == OP_AND3:
+                np.bitwise_and(buf[:size], buf[size : 2 * size], out=dst)
+                np.bitwise_and(dst, buf[2 * size :], out=dst)
+            elif opcode == OP_OR3:
+                np.bitwise_or(buf[:size], buf[size : 2 * size], out=dst)
+                np.bitwise_or(dst, buf[2 * size :], out=dst)
+            else:  # pragma: no cover - compiler emits only known opcodes
+                raise RuntimeError(f"unknown opcode {opcode}")
+        return state
+
+    def evaluate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Full slot state in *original* slot order — same contract as interp."""
+        return self._run(packed_inputs)[self._perm]
+
+    def evaluate_packed_slots(
+        self, packed_inputs: np.ndarray, slots: Sequence[int]
+    ) -> np.ndarray:
+        """Packed rows for the requested original-program slots."""
+        slots = np.asarray(slots, dtype=np.int64)
+        return self._run(packed_inputs)[self._perm[slots]]
+
+
+# --------------------------------------------------------------------------- #
+# Per-structure code generation
+# --------------------------------------------------------------------------- #
+# Domain-neutral expression templates: complement is spelled `x ^ ONE` and
+# MUX2 is decomposed, so a generated kernel is valid both for numpy uint64
+# rows (ONE = all-ones array) and for Python bigints (ONE = (1<<bits)-1).
+_TEMPLATES = {
+    OP_BUF: "{a}",
+    OP_NOT: "{a} ^ ONE",
+    OP_AND2: "{a} & {b}",
+    OP_OR2: "{a} | {b}",
+    OP_XOR2: "{a} ^ {b}",
+    OP_NAND2: "({a} & {b}) ^ ONE",
+    OP_NOR2: "({a} | {b}) ^ ONE",
+    OP_XNOR2: "({a} ^ {b}) ^ ONE",
+    OP_AND3: "{a} & {b} & {c}",
+    OP_OR3: "{a} | {b} | {c}",
+    OP_MUX2: "({b} & {c}) | ({a} & ({c} ^ ONE))",
+}
+# How often each operand position is referenced by its template (MUX2 reads
+# its select twice) — drives the inline-vs-local-variable decision.
+_TEMPLATE_REFS = {
+    OP_BUF: (0,),
+    OP_NOT: (0,),
+    OP_AND2: (0, 1),
+    OP_OR2: (0, 1),
+    OP_XOR2: (0, 1),
+    OP_NAND2: (0, 1),
+    OP_NOR2: (0, 1),
+    OP_XNOR2: (0, 1),
+    OP_AND3: (0, 1, 2),
+    OP_OR3: (0, 1, 2),
+    OP_MUX2: (0, 1, 2, 2),
+}
+# Expressions nested deeper than this become a local variable even when
+# single-use: keeps generated sources readable and CPython's parser away
+# from its nesting limits on long ripple chains.
+_MAX_INLINE_DEPTH = 12
+
+
+def generate_kernel_source(
+    program: CompiledProgram, slots: Sequence[int]
+) -> str:
+    """Emit Python source computing the packed values of ``slots``.
+
+    The generated function has signature ``_kernel(inp, ZERO, ONE)`` where
+    ``inp`` indexes the packed input rows in ``program.input_slots`` order,
+    and returns a tuple with one entry per requested slot.  Ops feeding a
+    single consumer are inlined into their use site (so dead scratch slots
+    vanish entirely); multi-use ops become local variables.  The source is
+    domain-neutral: run it on numpy rows or on whole-row bigints.
+
+    Example::
+
+        src = generate_kernel_source(program, program.output_slots)
+        print(src)          # inspect what the codegen engine executes
+    """
+    slots = [int(s) for s in slots]
+    ops = [
+        (
+            int(program.opcodes[k]),
+            int(program.operands[k, 0]),
+            int(program.operands[k, 1]),
+            int(program.operands[k, 2]),
+            int(program.dsts[k]),
+        )
+        for k in range(program.n_ops)
+    ]
+    # Backward liveness from the requested slots: ops whose destination is
+    # never (transitively) needed are dropped before any source is emitted,
+    # so a kernel for a narrow slot tuple computes only that cone.
+    live = set(slots)
+    keep = [False] * len(ops)
+    for k in range(len(ops) - 1, -1, -1):
+        opcode, a, b, c, dst = ops[k]
+        if dst not in live:
+            continue
+        keep[k] = True
+        operand_by_pos = (a, b, c)
+        for pos in _TEMPLATE_REFS[opcode]:
+            live.add(operand_by_pos[pos])
+    ops = [op for k, op in enumerate(ops) if keep[k]]
+    use_count: Dict[int, int] = {}
+    for opcode, a, b, c, _ in ops:
+        operand_by_pos = (a, b, c)
+        for pos in _TEMPLATE_REFS[opcode]:
+            s = operand_by_pos[pos]
+            use_count[s] = use_count.get(s, 0) + 1
+    for s in slots:
+        use_count[s] = use_count.get(s, 0) + 1
+
+    # expr[slot] = (text, depth, atomic); atomic == no parens needed on use.
+    expr: Dict[int, Tuple[str, int, bool]] = {
+        SLOT_ZERO: ("ZERO", 0, True),
+        SLOT_ONE: ("ONE", 0, True),
+    }
+    lines: List[str] = []
+    for row, s in enumerate(program.input_slots.tolist()):
+        expr[s] = (f"i{s}", 0, True)
+        if use_count.get(s, 0):
+            lines.append(f"    i{s} = inp[{row}]")
+
+    def ref(s: int) -> Tuple[str, int]:
+        text, depth, atomic = expr[s]
+        return (text if atomic else f"({text})"), depth
+
+    for opcode, a, b, c, dst in ops:
+        if opcode == OP_BUF:
+            expr[dst] = expr[a]
+            continue
+        ea, da = ref(a)
+        arity = OP_ARITY[opcode]
+        if arity == 1:
+            text, depth = _TEMPLATES[opcode].format(a=ea), da + 1
+        elif arity == 2:
+            eb, db = ref(b)
+            text, depth = _TEMPLATES[opcode].format(a=ea, b=eb), max(da, db) + 1
+        else:
+            eb, db = ref(b)
+            ec, dc = ref(c)
+            text = _TEMPLATES[opcode].format(a=ea, b=eb, c=ec)
+            depth = max(da, db, dc) + 1
+        if use_count.get(dst, 0) > 1 or depth > _MAX_INLINE_DEPTH:
+            lines.append(f"    v{dst} = {text}")
+            expr[dst] = (f"v{dst}", 0, True)
+        else:
+            expr[dst] = (text, depth, False)
+
+    returns = ", ".join(ref(s)[0] for s in slots)
+    body = "\n".join(lines)
+    return (
+        "def _kernel(inp, ZERO, ONE):\n"
+        + (body + "\n" if body else "")
+        + f"    return ({returns},)\n"
+    )
+
+
+class CodegenEvaluator(BitParallelEvaluator):
+    """Executes a program as one generated, ``compile()``d Python function.
+
+    Kernels are generated lazily per requested slot tuple (the full-state
+    compat path, the output slots, a sequential cone's output+next-state
+    slots, ...) and cached on the evaluator.  Evaluator instances themselves
+    are cached per netlist structure by :func:`~repro.perf.bitsim.
+    evaluator_for`, so structural mutation drops the kernels together with
+    the evaluator — the same invalidation discipline as every other compiled
+    artifact.
+
+    At call time the operand domain is chosen by batch size: whole-row
+    Python bigints below :data:`BIGINT_MAX_WORDS` words (zero numpy
+    dispatch; Python's bignum loops do the word work in C), numpy ``uint64``
+    rows above.
+
+    Example::
+
+        out = CodegenEvaluator(compile_netlist(netlist)).evaluate(vectors)
+    """
+
+    def __init__(self, program: CompiledProgram) -> None:
+        super().__init__(program)
+        self._kernels: Dict[Tuple[int, ...], "object"] = {}
+        self._sources: Dict[Tuple[int, ...], str] = {}
+
+    # ------------------------------------------------------------------ #
+    def _kernel_for(self, slots: Tuple[int, ...]):
+        kernel = self._kernels.get(slots)
+        if kernel is None:
+            source = generate_kernel_source(self.program, slots)
+            namespace: Dict[str, object] = {}
+            exec(  # noqa: S102 - source is generated from the program, not user input
+                compile(source, f"<codegen:{self.program.name}>", "exec"), namespace
+            )
+            kernel = namespace["_kernel"]
+            self._kernels[slots] = kernel
+            self._sources[slots] = source
+        return kernel
+
+    def kernel_source(self, slots: Sequence[int]) -> str:
+        """The generated source for a slot tuple (compiling it if needed)."""
+        slots = tuple(int(s) for s in slots)
+        self._kernel_for(slots)
+        return self._sources[slots]
+
+    def _call(self, kernel, packed_inputs: np.ndarray) -> np.ndarray:
+        program = self.program
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.ndim != 2 or packed_inputs.shape[0] != program.n_inputs:
+            raise ValueError(
+                f"expected packed inputs of shape ({program.n_inputs}, n_words), "
+                f"got {packed_inputs.shape}"
+            )
+        n_words = packed_inputs.shape[1]
+        if n_words <= BIGINT_MAX_WORDS:
+            # Bigint domain: one arbitrary-precision int per input row.
+            n_bytes = n_words * 8
+            raw = np.ascontiguousarray(packed_inputs.astype("<u8", copy=False))
+            blob = raw.tobytes()
+            rows = [
+                int.from_bytes(blob[r * n_bytes : (r + 1) * n_bytes], "little")
+                for r in range(program.n_inputs)
+            ]
+            out = kernel(rows, 0, (1 << (64 * n_words)) - 1)
+            if not out:
+                return np.zeros((0, n_words), dtype=np.uint64)
+            packed_out = b"".join(x.to_bytes(n_bytes, "little") for x in out)
+            return (
+                np.frombuffer(packed_out, dtype="<u8")
+                .reshape(len(out), n_words)
+                .astype(np.uint64, copy=False)
+            )
+        zero = np.zeros(n_words, dtype=np.uint64)
+        one = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        out = kernel(packed_inputs, zero, one)
+        if not out:
+            return np.zeros((0, n_words), dtype=np.uint64)
+        return np.stack(out)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_packed_slots(
+        self, packed_inputs: np.ndarray, slots: Sequence[int]
+    ) -> np.ndarray:
+        """Packed rows for the requested slots via a per-tuple kernel."""
+        slots = tuple(int(s) for s in slots)
+        return self._call(self._kernel_for(slots), packed_inputs)
+
+    def evaluate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Full slot state — compatibility path through an all-slots kernel."""
+        all_slots = tuple(range(self.program.n_slots))
+        return self._call(self._kernel_for(all_slots), packed_inputs)
+
+
+# --------------------------------------------------------------------------- #
+def make_evaluator(
+    program: CompiledProgram, engine: str = "auto"
+) -> BitParallelEvaluator:
+    """Construct the evaluator class selected by ``engine`` for a program.
+
+    The resolved engine name is recorded on the instance as ``.engine``.
+
+    Example::
+
+        evaluator = make_evaluator(compile_netlist(netlist), engine="fused")
+        evaluator.engine                     # 'fused'
+    """
+    resolved = resolve_engine(engine, program)
+    if resolved == "interp":
+        evaluator = BitParallelEvaluator(program)
+    elif resolved == "fused":
+        evaluator = FusedEvaluator(program)
+    else:
+        evaluator = CodegenEvaluator(program)
+    evaluator.engine = resolved
+    return evaluator

@@ -50,8 +50,9 @@ import numpy as np
 from repro.hw.cells import CellLibrary
 from repro.hw.netlist import GateNetlist
 from repro.hw.pdk import EGFET_PDK
-from repro.perf.bitsim import BitParallelEvaluator, pack_vectors, unpack_vectors
+from repro.perf.bitsim import pack_vectors, unpack_vectors
 from repro.perf.compile import CompiledProgram, compile_netlist
+from repro.perf.engines import make_evaluator, resolve_engine
 
 
 @dataclass
@@ -222,15 +223,25 @@ InitSpec = Union[None, Dict[str, int], Sequence[int], np.ndarray]
 class SequentialEvaluator:
     """Clocks a :class:`SequentialProgram` over packed ``uint64`` vector words.
 
+    ``engine`` selects the execution backend for the per-cycle cone
+    (:mod:`repro.perf.engines`); under ``'auto'`` the cone automatically
+    picks up the codegen (or, for very large cones, fused) kernel, which is
+    where fusion pays the most — the cone re-runs every clock cycle.
+
     Example::
 
         evaluator = sequential_evaluator_for(netlist)
         trace = evaluator.run(input_bits, cycles=8)   # (8, n_vectors, n_outputs)
     """
 
-    def __init__(self, seq: SequentialProgram) -> None:
+    def __init__(self, seq: SequentialProgram, engine: str = "auto") -> None:
         self.seq = seq
-        self._cone = BitParallelEvaluator(seq.program)
+        self._cone = make_evaluator(seq.program, engine)
+        self.engine = resolve_engine(engine, seq.program)
+        # One kernel request per cycle: outputs and next state together.
+        self._result_slots = tuple(
+            int(s) for s in np.concatenate([seq.output_slots, seq.next_state_slots])
+        )
 
     # ------------------------------------------------------------------ #
     def _init_words(self, init: InitSpec, n_vectors: int, n_words: int) -> np.ndarray:
@@ -285,12 +296,16 @@ class SequentialEvaluator:
         n_words = state_words.shape[1] if seq.n_state else packed_inputs.shape[-1]
         trace = np.empty((int(cycles), seq.n_outputs, n_words), dtype=np.uint64)
         state = np.asarray(state_words, dtype=np.uint64)
+        n_outputs = seq.n_outputs
         for t in range(int(cycles)):
             rows = packed_inputs[t] if streamed else packed_inputs
             cone_in = np.concatenate([rows, state], axis=0)
-            slot_state = self._cone.evaluate_packed(cone_in)
-            trace[t] = slot_state[seq.output_slots]
-            state = slot_state[seq.next_state_slots]
+            # One engine call per cycle computing outputs and next state
+            # together — the codegen engine compiles a dedicated kernel for
+            # exactly this slot tuple (dead cone logic never executes).
+            result = self._cone.evaluate_packed_slots(cone_in, self._result_slots)
+            trace[t] = result[:n_outputs]
+            state = result[n_outputs:]
         return trace, state
 
     def run(
@@ -389,8 +404,13 @@ def sequential_evaluator_for(
     netlist: GateNetlist,
     library: Optional[CellLibrary] = None,
     opt_level: int = 0,
+    engine: str = "auto",
 ) -> SequentialEvaluator:
     """Compile (cached) and wrap a clocked netlist for sequential evaluation.
+
+    ``engine`` selects the per-cycle cone's execution backend; evaluators
+    are cached per (library, structure version, opt level, resolved engine)
+    so mutation invalidates compiled cone kernels along with the program.
 
     Example::
 
@@ -399,16 +419,17 @@ def sequential_evaluator_for(
     """
     library = library or EGFET_PDK
     seq = compile_sequential(netlist, library, opt_level=opt_level)
+    resolved = resolve_engine(engine, seq.program)
     cache = getattr(netlist, "_seqsim_evaluator_cache", None)
     if not isinstance(cache, dict):
         cache = {}
         netlist._seqsim_evaluator_cache = cache
     signature = netlist.structural_signature()
-    key = (id(library), signature, int(opt_level))
+    key = (id(library), signature, int(opt_level), resolved)
     cached = cache.get(key)
     if cached is not None and cached[0] is seq:
         return cached[1]
-    evaluator = SequentialEvaluator(seq)
+    evaluator = SequentialEvaluator(seq, engine=resolved)
     for stale in [k for k in cache if k[1] != signature]:
         del cache[stale]
     cache[key] = (seq, evaluator)
@@ -422,6 +443,7 @@ def simulate_sequential_batch(
     init: InitSpec = None,
     library: Optional[CellLibrary] = None,
     opt_level: int = 0,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Bit-parallel multi-cycle sweep of a clocked netlist.
 
@@ -440,5 +462,7 @@ def simulate_sequential_batch(
         trace = simulate_sequential_batch(netlist, vectors, cycles=8)
         trace[-1]        # outputs during the final cycle, (n_vectors, n_outputs)
     """
-    evaluator = sequential_evaluator_for(netlist, library, opt_level=opt_level)
+    evaluator = sequential_evaluator_for(
+        netlist, library, opt_level=opt_level, engine=engine
+    )
     return evaluator.run(input_bits, cycles=cycles, init=init)

@@ -1,0 +1,297 @@
+"""The fused and codegen execution engines: bit-exactness, caching, codegen.
+
+Every engine must produce exactly the same bits as the interp engine on
+every netlist in the zoo — combinational and sequential, raw and optimized —
+because the engines only change the execution *schedule*, never the program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.netlist import GateNetlist
+from repro.hw.rtl.adders import build_ripple_adder_netlist
+from repro.hw.rtl.comparator import build_comparator_netlist
+from repro.hw.rtl.multipliers import (
+    build_array_multiplier_netlist,
+    build_constant_mac_netlist,
+)
+from repro.hw.rtl.mux import build_mux_tree_netlist
+from repro.hw.rtl.registers import build_counter_netlist
+from repro.hw.rtl.svm_top import build_sequential_svm_netlist
+from repro.perf.bitsim import evaluator_for, pack_vectors, simulate_netlist_batch
+from repro.perf.compile import compile_netlist
+from repro.perf.engines import (
+    AUTO_CODEGEN_MAX_OPS,
+    CodegenEvaluator,
+    ENGINES,
+    FusedEvaluator,
+    generate_kernel_source,
+    levelize,
+    make_evaluator,
+    resolve_engine,
+)
+from repro.perf.seqsim import sequential_evaluator_for, simulate_sequential_batch
+
+
+def _combinational_zoo():
+    return {
+        "ripple_adder_8b": build_ripple_adder_netlist(8),
+        "ripple_adder_cin": build_ripple_adder_netlist(4, with_carry_in=True),
+        "array_multiplier_4x4": build_array_multiplier_netlist(4, 4),
+        "mux_tree_8": build_mux_tree_netlist(8),
+        "comparator_6b": build_comparator_netlist(6),
+        "constant_mac": build_constant_mac_netlist([0, 3, 8, 5], 3),
+    }
+
+
+def _sequential_zoo():
+    rng = np.random.default_rng(11)
+    weights = rng.integers(-7, 8, size=(4, 3))
+    biases = rng.integers(-20, 21, size=4)
+    svm_top, ports = build_sequential_svm_netlist(weights, biases, input_bits=2)
+
+    shift = GateNetlist("shift")
+    d = shift.add_input("d")
+    prev = d
+    for i in range(3):
+        prev = shift.add_dff(prev, f"t[{i}]", name=f"ff{i}")
+        shift.mark_output(prev)
+
+    return {
+        "counter_5b": (build_counter_netlist(5), 0, 12),
+        "shift_register_3": (shift, 1, 8),
+        "svm_top_4x3": (svm_top, ports.n_features * 2, ports.n_classifiers),
+    }
+
+
+class TestCombinationalBitExactness:
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "auto"])
+    @pytest.mark.parametrize("opt_level", [0, 1, 2])
+    def test_zoo_matches_interp(self, engine, opt_level):
+        rng = np.random.default_rng(0)
+        for name, netlist in _combinational_zoo().items():
+            # 130 vectors spans three words with a ragged tail.
+            vectors = rng.integers(0, 2, size=(130, len(netlist.inputs)))
+            reference = simulate_netlist_batch(
+                netlist, vectors, opt_level=opt_level, engine="interp"
+            )
+            out = simulate_netlist_batch(
+                netlist, vectors, opt_level=opt_level, engine=engine
+            )
+            assert np.array_equal(out, reference), (name, engine, opt_level)
+
+    @pytest.mark.parametrize("engine", ["fused", "codegen"])
+    def test_full_slot_state_matches_interp(self, engine):
+        """evaluate_packed keeps the interp contract: every slot, in order."""
+        rng = np.random.default_rng(1)
+        netlist = build_array_multiplier_netlist(4, 4)
+        vectors = rng.integers(0, 2, size=(100, len(netlist.inputs)))
+        packed, _ = pack_vectors(vectors)
+        reference = evaluator_for(netlist, engine="interp").evaluate_packed(packed)
+        state = evaluator_for(netlist, engine=engine).evaluate_packed(packed)
+        assert np.array_equal(state, reference)
+
+    @pytest.mark.parametrize("engine", ["fused", "codegen"])
+    def test_evaluate_nets_matches_interp(self, engine):
+        rng = np.random.default_rng(2)
+        netlist = build_ripple_adder_netlist(5)
+        vectors = rng.integers(0, 2, size=(70, len(netlist.inputs)))
+        reference = evaluator_for(netlist, engine="interp").evaluate_nets(vectors)
+        nets = evaluator_for(netlist, engine=engine).evaluate_nets(vectors)
+        assert nets.keys() == reference.keys()
+        for net in reference:
+            assert np.array_equal(nets[net], reference[net]), net
+
+    @pytest.mark.parametrize("engine", ["fused", "codegen"])
+    def test_duplicate_and_input_slots_allowed(self, engine):
+        """Requested slots may repeat and may name inputs or constants —
+        the shapes a sequential cone produces (shift registers tap Q nets)."""
+        netlist = build_ripple_adder_netlist(3)
+        rng = np.random.default_rng(3)
+        vectors = rng.integers(0, 2, size=(65, len(netlist.inputs)))
+        packed, _ = pack_vectors(vectors)
+        interp = evaluator_for(netlist, engine="interp")
+        other = evaluator_for(netlist, engine=engine)
+        program = interp.program
+        slots = [
+            int(program.output_slots[0]),
+            int(program.output_slots[0]),
+            int(program.input_slots[1]),
+            0,
+            1,
+        ]
+        assert np.array_equal(
+            other.evaluate_packed_slots(packed, slots),
+            interp.evaluate_packed_slots(packed, slots),
+        )
+
+    def test_codegen_numpy_domain_matches_bigint_domain(self, monkeypatch):
+        """Forcing the numpy operand domain gives the same bits as bigints."""
+        import repro.perf.engines as engines_mod
+
+        netlist = build_array_multiplier_netlist(4, 4)
+        rng = np.random.default_rng(4)
+        vectors = rng.integers(0, 2, size=(200, len(netlist.inputs)))
+        bigint = simulate_netlist_batch(netlist, vectors, engine="codegen")
+        netlist.note_structural_change()  # drop cached evaluators
+        monkeypatch.setattr(engines_mod, "BIGINT_MAX_WORDS", 0)
+        numpy_domain = simulate_netlist_batch(netlist, vectors, engine="codegen")
+        assert np.array_equal(bigint, numpy_domain)
+
+
+class TestSequentialBitExactness:
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "auto"])
+    @pytest.mark.parametrize("opt_level", [0, 2])
+    def test_zoo_matches_interp(self, engine, opt_level):
+        rng = np.random.default_rng(5)
+        for name, (netlist, n_inputs, cycles) in _sequential_zoo().items():
+            vectors = rng.integers(0, 2, size=(70, n_inputs))
+            reference = simulate_sequential_batch(
+                netlist, vectors, cycles=cycles, opt_level=opt_level, engine="interp"
+            )
+            out = simulate_sequential_batch(
+                netlist, vectors, cycles=cycles, opt_level=opt_level, engine=engine
+            )
+            assert np.array_equal(out, reference), (name, engine, opt_level)
+
+    def test_auto_sequential_cone_uses_codegen(self):
+        evaluator = sequential_evaluator_for(build_counter_netlist(4))
+        assert evaluator.engine == "codegen"
+        assert isinstance(evaluator._cone, CodegenEvaluator)
+
+
+class TestEngineSelection:
+    def test_resolve_engine_auto_switches_on_program_size(self):
+        program = compile_netlist(build_ripple_adder_netlist(4))
+        assert resolve_engine("auto", program) == "codegen"
+        assert resolve_engine("fused", program) == "fused"
+        assert resolve_engine("interp", program) == "interp"
+        assert program.n_ops <= AUTO_CODEGEN_MAX_OPS
+
+    def test_unknown_engine_raises(self):
+        program = compile_netlist(build_ripple_adder_netlist(2))
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("turbo", program)
+        with pytest.raises(ValueError, match="unknown engine"):
+            evaluator_for(build_ripple_adder_netlist(2), engine="turbo")
+
+    def test_make_evaluator_classes_and_engine_attr(self):
+        program = compile_netlist(build_ripple_adder_netlist(3))
+        assert isinstance(make_evaluator(program, "fused"), FusedEvaluator)
+        assert isinstance(make_evaluator(program, "codegen"), CodegenEvaluator)
+        assert make_evaluator(program, "auto").engine == "codegen"
+
+    def test_engines_tuple_is_the_cli_contract(self):
+        assert ENGINES == ("interp", "fused", "codegen", "auto")
+
+
+class TestCaching:
+    def test_evaluators_cached_per_engine(self):
+        netlist = build_ripple_adder_netlist(4)
+        interp = evaluator_for(netlist, engine="interp")
+        fused = evaluator_for(netlist, engine="fused")
+        codegen = evaluator_for(netlist, engine="codegen")
+        assert interp is not fused and fused is not codegen
+        assert evaluator_for(netlist, engine="interp") is interp
+        assert evaluator_for(netlist, engine="fused") is fused
+        assert evaluator_for(netlist, engine="codegen") is codegen
+        # auto resolves to codegen here, so it shares the codegen entry.
+        assert evaluator_for(netlist, engine="auto") is codegen
+        # All engines share one compiled program.
+        assert interp.program is fused.program is codegen.program
+
+    def test_structural_mutation_drops_compiled_kernels(self):
+        """Version-keyed invalidation: mutating the netlist must retire the
+        codegen evaluator (and with it every compiled kernel) and the fused
+        schedule, exactly like the compiled program itself."""
+        netlist = build_ripple_adder_netlist(3)
+        rng = np.random.default_rng(6)
+        vectors = rng.integers(0, 2, size=(40, len(netlist.inputs)))
+        codegen = evaluator_for(netlist, engine="codegen")
+        fused = evaluator_for(netlist, engine="fused")
+        codegen.evaluate(vectors)  # force a kernel compile
+        (inv,) = netlist.add_gate("INV", [netlist.outputs[0]], outputs=["obs"])
+        netlist.mark_output(inv)
+        new_codegen = evaluator_for(netlist, engine="codegen")
+        new_fused = evaluator_for(netlist, engine="fused")
+        assert new_codegen is not codegen
+        assert new_fused is not fused
+        assert new_codegen.program is not codegen.program
+        # The new evaluator simulates the observer gate; bit-exact vs interp.
+        reference = evaluator_for(netlist, engine="interp").evaluate(vectors)
+        assert np.array_equal(new_codegen.evaluate(vectors), reference)
+
+    def test_sequential_mutation_drops_engine_evaluator(self):
+        netlist = build_counter_netlist(3)
+        evaluator = sequential_evaluator_for(netlist, engine="codegen")
+        assert sequential_evaluator_for(netlist, engine="codegen") is evaluator
+        netlist.note_structural_change()
+        assert sequential_evaluator_for(netlist, engine="codegen") is not evaluator
+
+    def test_codegen_kernels_cached_per_slot_tuple(self):
+        netlist = build_ripple_adder_netlist(3)
+        evaluator = evaluator_for(netlist, engine="codegen")
+        rng = np.random.default_rng(7)
+        vectors = rng.integers(0, 2, size=(10, len(netlist.inputs)))
+        evaluator.evaluate(vectors)
+        evaluator.evaluate(vectors)
+        slots = tuple(int(s) for s in evaluator.program.output_slots)
+        assert len(evaluator._kernels) == 1
+        assert slots in evaluator._kernels
+        evaluator.evaluate_nets(vectors)
+        assert len(evaluator._kernels) == 2
+
+
+class TestCodegenSource:
+    def test_kernel_source_is_compilable_and_dead_code_free(self):
+        netlist = build_array_multiplier_netlist(3, 3)
+        program = compile_netlist(netlist)
+        # Request only the lowest product bit: the cone for p[0] is a single
+        # AND, so almost the whole program is dead for this slot tuple.
+        low = generate_kernel_source(program, [int(program.output_slots[0])])
+        full = generate_kernel_source(program, program.output_slots)
+        compile(low, "<t>", "exec")
+        compile(full, "<t>", "exec")
+        assert len(low.splitlines()) < len(full.splitlines())
+        assert "def _kernel(inp, ZERO, ONE):" in low
+
+    def test_kernel_source_inspectable_via_evaluator(self):
+        netlist = build_ripple_adder_netlist(2)
+        evaluator = evaluator_for(netlist, engine="codegen")
+        source = evaluator.kernel_source(evaluator.program.output_slots)
+        assert "return (" in source
+
+    def test_levelize_covers_every_op_in_topological_layers(self):
+        program = compile_netlist(build_array_multiplier_netlist(4, 4))
+        layers = levelize(program)
+        seen = [k for layer in layers for k in layer]
+        assert sorted(seen) == list(range(program.n_ops))
+        # Every op's operands are produced strictly earlier.
+        produced_at = {}
+        for depth, layer in enumerate(layers):
+            for k in layer:
+                produced_at[int(program.dsts[k])] = depth
+        for depth, layer in enumerate(layers):
+            for k in layer:
+                for operand in program.operands[k]:
+                    assert produced_at.get(int(operand), -1) < depth
+
+
+class TestOpListing:
+    def test_disassembly_is_arity_aware(self):
+        netlist = GateNetlist("listing")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        (x,) = netlist.add_gate("INV", [a], outputs=["x"])
+        (y,) = netlist.add_gate("NAND2", [x, b], outputs=["y"])
+        netlist.mark_output(y)
+        listing = compile_netlist(netlist).op_listing()
+        not_lines = [line for line in listing if "NOT(" in line]
+        nand_lines = [line for line in listing if "NAND2(" in line]
+        assert not_lines and nand_lines
+        # 1-input ops show one operand, 2-input ops two — no phantom slots.
+        assert all(line.count("s") == 2 for line in not_lines)
+        assert all(line.count(",") == 0 for line in not_lines)
+        assert all(line.count(",") == 1 for line in nand_lines)

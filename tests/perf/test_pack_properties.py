@@ -1,0 +1,106 @@
+"""Property tests for the packed-word codecs (hypothesis).
+
+The bit-parallel engines are only as trustworthy as the pack/unpack layer
+under them: these properties pin the round-trips for arbitrary shapes —
+``n_vectors`` not a multiple of 64, the empty batch, single lines — and the
+integer bus decoders for arbitrary widths and signs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.bitsim import (
+    pack_vectors,
+    unpack_vectors,
+    words_to_ints,
+    words_to_signed_ints,
+)
+
+
+class TestPackUnpackRoundTrip:
+    @given(
+        n_vectors=st.integers(min_value=0, max_value=300),
+        n_lines=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_any_shape(self, n_vectors, n_lines, seed):
+        """unpack(pack(bits)) == bits for every shape, including ragged
+        tails (n_vectors % 64 != 0) and the empty batch."""
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(n_vectors, n_lines))
+        packed, n = pack_vectors(bits)
+        assert n == n_vectors
+        assert packed.shape == (n_lines, max((n_vectors + 63) // 64, 1))
+        assert packed.dtype == np.uint64
+        assert np.array_equal(unpack_vectors(packed, n), bits)
+
+    @given(
+        n_vectors=st.integers(min_value=1, max_value=200),
+        n_lines=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_padding_bits_beyond_n_vectors_are_zero(self, n_vectors, n_lines, seed):
+        """The ragged tail of the last word must be zero-padded — engines
+        rely on this when masking is skipped."""
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(n_vectors, n_lines))
+        packed, _ = pack_vectors(bits)
+        n_words = packed.shape[1]
+        full = unpack_vectors(packed, n_words * 64)
+        assert np.array_equal(full[:n_vectors], bits)
+        assert not full[n_vectors:].any()
+
+    def test_empty_batch_packs_to_one_zero_word(self):
+        packed, n = pack_vectors(np.zeros((0, 5), dtype=np.int64))
+        assert n == 0
+        assert packed.shape == (5, 1)
+        assert not packed.any()
+        assert unpack_vectors(packed, 0).shape == (0, 5)
+
+
+class TestBusDecoders:
+    @given(
+        width=st.integers(min_value=1, max_value=16),
+        n=st.integers(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_words_to_ints_inverts_binary_expansion(self, width, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << width, size=n, dtype=np.int64)
+        bits = (values[:, None] >> np.arange(width)) & 1
+        assert np.array_equal(words_to_ints(bits, range(width)), values)
+
+    @given(
+        width=st.integers(min_value=1, max_value=16),
+        n=st.integers(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_words_to_signed_ints_inverts_twos_complement(self, width, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-(1 << (width - 1)), 1 << (width - 1), size=n)
+        codes = values & ((1 << width) - 1)  # two's-complement encode
+        bits = (codes[:, None] >> np.arange(width)) & 1
+        assert np.array_equal(words_to_signed_ints(bits, range(width)), values)
+
+    @given(
+        width=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decoders_agree_on_nonnegative_values(self, width, seed):
+        """Signed and unsigned decoding coincide whenever the sign bit is
+        clear (and the full pack -> unpack -> decode chain round-trips)."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << (width - 1), size=50, dtype=np.int64)
+        bits = (values[:, None] >> np.arange(width)) & 1
+        packed, n = pack_vectors(bits)
+        decoded_bits = unpack_vectors(packed, n)
+        assert np.array_equal(words_to_ints(decoded_bits, range(width)), values)
+        assert np.array_equal(
+            words_to_signed_ints(decoded_bits, range(width)), values
+        )
