@@ -7,23 +7,56 @@ the floors every PR must keep:
 * micro-batched concurrent serving reaches >=5x the one-request-at-a-time
   throughput (the whole point of the micro-batching queue);
 * served class ids are bit-identical to the design's direct ``run_batch``;
-* micro-batches actually coalesce (mean batch size well above 1).
+* micro-batches actually coalesce (mean batch size well above 1);
+* the worker fleet answers bit-identically to the ``workers=0`` oracle on a
+  4-model mix, and — on hosts with enough cores for process parallelism to
+  exist — reaches >=2.5x the single-process aggregate throughput.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import pytest
 
-from repro.serve.bench import run_serving_benchmark, write_benchmark
+from repro.serve.bench import (
+    run_multi_worker_benchmark,
+    run_serving_benchmark,
+    write_benchmark,
+)
 
 #: The acceptance floor: micro-batched throughput vs the serial path.
 SPEEDUP_FLOOR = 5.0
+
+#: The acceptance floor: fleet aggregate req/s vs single process at 4 workers.
+FLEET_SPEEDUP_FLOOR = 2.5
+
+#: Cores needed before the fleet floor is physically meaningful (4 workers
+#: plus the frontend cannot beat one process on fewer).
+FLEET_FLOOR_MIN_CPUS = 4
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
 def serving_results():
     """One shared benchmark run (trains the fast-config model once)."""
     return run_serving_benchmark(n_requests=2048, n_serial=256)
+
+
+@pytest.fixture(scope="module")
+def fleet_results():
+    """One shared multi-worker run (4-model mix, 4 workers vs the oracle)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fleet benchmark needs the fork start method")
+    return run_multi_worker_benchmark(
+        requests_per_client=512, slo_duration_s=1.0
+    )
 
 
 @pytest.mark.perf_smoke
@@ -56,7 +89,57 @@ def test_microbatches_coalesce(serving_results):
 
 
 @pytest.mark.perf_smoke
-def test_record_serving_benchmark(serving_results):
-    """Refresh the tracked ``BENCH_serving.json`` artifact."""
-    path = write_benchmark(serving_results)
+def test_fleet_bit_identical_to_oracle(fleet_results):
+    """The worker fleet answers exactly like the workers=0 single process.
+
+    Asserted unconditionally: bit-exactness is structural (a worker embeds
+    the oracle server) and must hold on any host, fast or slow.
+    """
+    assert fleet_results["bit_identical_to_single_process"]
+    assert fleet_results["fleet"]["n_errors"] == 0
+    assert fleet_results["fleet"]["workers_alive"] == fleet_results["workers"]
+    assert fleet_results["fleet"]["worker_restarts"] == 0
+
+
+@pytest.mark.perf_smoke
+def test_fleet_slo_sections_present(fleet_results):
+    """Sustained and bursty open-loop runs report full latency tails."""
+    for pattern in ("sustained", "bursty"):
+        slo = fleet_results["slo"][pattern]
+        assert slo["n_requests"] > 0
+        assert (
+            0.0
+            <= slo["latency_p50_ms"]
+            <= slo["latency_p99_ms"]
+            <= slo["latency_p999_ms"]
+        )
+    assert fleet_results["saturation"]["saturation_rate_per_s"] > 0.0
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.skipif(
+    _usable_cpus() < FLEET_FLOOR_MIN_CPUS,
+    reason=f"fleet speedup floor needs >= {FLEET_FLOOR_MIN_CPUS} usable cores "
+    f"(host has {_usable_cpus()}): 4 worker processes cannot outrun one "
+    "process without processor parallelism",
+)
+def test_fleet_throughput_floor(fleet_results):
+    """4 workers on a 4-model mix reach >=2.5x single-process aggregate req/s."""
+    speedup = fleet_results["speedup_vs_single_process"]
+    assert speedup >= FLEET_SPEEDUP_FLOOR, (
+        f"fleet reached only {speedup:.2f}x the single-process server "
+        f"(floor: {FLEET_SPEEDUP_FLOOR}x on "
+        f"{fleet_results['effective_cpus']:.0f} CPUs; single "
+        f"{fleet_results['single_process']['aggregate_requests_per_s']:.0f} "
+        f"req/s, fleet "
+        f"{fleet_results['fleet']['aggregate_requests_per_s']:.0f} req/s)"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_record_serving_benchmark(serving_results, fleet_results):
+    """Refresh the tracked ``BENCH_serving.json`` artifact (fleet included)."""
+    results = dict(serving_results)
+    results["multi_worker"] = fleet_results
+    path = write_benchmark(results)
     assert path.is_file()

@@ -302,6 +302,22 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         help="shard cold preload training across this many worker processes "
         "(0 = all cores)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serving worker processes: 0 serves every model lane in this "
+        "process (the bit-exact single-process path), N >= 1 hosts the "
+        "lanes in N child processes behind the frontend router",
+    )
+    parser.add_argument(
+        "--lanes-per-worker",
+        type=int,
+        default=None,
+        help="soft cap on model lanes per worker: new models route to the "
+        "least-loaded worker under the cap (default: no cap, least-loaded "
+        "always)",
+    )
     _add_common_arguments(parser)
     args = parser.parse_args(argv)
     config = _build_config(args)
@@ -315,28 +331,44 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         parser.error(str(error))
 
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+
     registry = ModelRegistry(
         config=config,
         cache=_build_cache(args),
         jobs=args.jobs,
         opt_level=args.opt_level,
     )
-    print(f"loading {len(args.models)} model(s): {', '.join(args.models)}")
-    registry.preload(args.models)
+    if args.workers == 0:
+        # Train/load up front in this process; the lanes live here too.
+        print(f"loading {len(args.models)} model(s): {', '.join(args.models)}")
+        registry.preload(args.models)
     server = ModelServer(
         registry,
         max_batch_size=args.max_batch_size,
         max_latency_ms=args.max_latency_ms,
+        workers=args.workers,
+        lanes_per_worker=args.lanes_per_worker,
     )
+    if args.workers:
+        # Fleet mode: each model trains/loads inside its assigned worker
+        # (frontend preloading would only warm a process the lanes never
+        # run in); /healthz reports ready once every worker heartbeats.
+        print(
+            f"opening {len(args.models)} model lane(s) across "
+            f"{args.workers} worker(s): {', '.join(args.models)}"
+        )
     for name in args.models:
-        server.lane(name)  # open a serving lane per preloaded model
+        server.open_lane(name)  # open a serving lane per requested model
 
     httpd = build_http_server(server, host=args.host, port=args.port)
     host, port = httpd.server_address[:2]
+    workers_note = f", workers={args.workers}" if args.workers else ""
     print(
         f"serving on http://{host}:{port} "
         f"(max_batch_size={args.max_batch_size}, "
-        f"max_latency_ms={args.max_latency_ms:g})"
+        f"max_latency_ms={args.max_latency_ms:g}{workers_note})"
     )
     try:
         httpd.serve_forever()

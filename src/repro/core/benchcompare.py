@@ -1,0 +1,105 @@
+"""Benchmark-document regression diffing, shared by every bench CLI.
+
+Both ``scripts/bench_simulation.py --compare`` and
+``scripts/bench_serving.py --compare`` diff a fresh run against the
+committed ``BENCH_*.json`` baseline.  The diff logic is metric-name based,
+not schema based: a results document is flattened to its numeric leaves,
+and every leaf whose dotted path ends in a known higher-is-better suffix
+(throughputs, speedups, reduction percentages, roofline fractions) is
+compared.  Metrics present on only one side are skipped — schema drift
+between PRs is expected, silent wrong comparisons are not.
+
+Intended as a non-blocking trend signal (timings on shared CI runners are
+noisy), so callers print the result and exit 0.
+
+Example::
+
+    current = run_serving_benchmark()
+    baseline = json.loads(Path("BENCH_serving.json").read_text())
+    regressions = compare_benchmarks(current, baseline)   # prints a summary
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Leaf-metric suffixes compared by ``--compare`` (all higher-is-better).
+COMPARE_METRIC_SUFFIXES = (
+    "_per_s",
+    "speedup",
+    "speedup_vs_interp",
+    "speedup_vs_serial",
+    "speedup_vs_single_process",
+    "reduction_percent",
+    "fraction_of_memcpy",
+)
+
+
+def metric_leaves(doc: Dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten a results document to ``{dotted.path: value}`` for comparison.
+
+    Only numeric leaves whose path ends in one of
+    :data:`COMPARE_METRIC_SUFFIXES` survive; everything else (metadata,
+    counts, raw seconds) is ignored.
+
+    Example::
+
+        >>> metric_leaves({"best": {"requests_per_s": 10.0, "n": 4}})
+        {'best.requests_per_s': 10.0}
+    """
+    leaves: Dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            leaves.update(metric_leaves(value, prefix=f"{path}."))
+        elif isinstance(value, (int, float)) and any(
+            path.endswith(suffix) for suffix in COMPARE_METRIC_SUFFIXES
+        ):
+            leaves[path] = float(value)
+    return leaves
+
+
+def compare_benchmarks(
+    current: Dict, baseline: Dict, threshold_percent: float = 10.0
+) -> List[Tuple[str, float, float, float]]:
+    """Diff two benchmark documents; returns and prints per-section regressions.
+
+    Every shared higher-is-better metric is compared; metrics that dropped
+    by more than ``threshold_percent`` are reported as
+    ``(dotted_path, baseline_value, current_value, delta_percent)`` tuples,
+    grouped by top-level section in the printed summary.
+
+    Example::
+
+        regressions = compare_benchmarks(current, baseline, threshold_percent=10)
+        if regressions:
+            ...  # advisory only: print, never exit non-zero
+    """
+    base = metric_leaves(baseline)
+    cur = metric_leaves(current)
+    regressions = []
+    for path in sorted(set(base) & set(cur)):
+        if base[path] <= 0:
+            continue
+        delta = (cur[path] - base[path]) / base[path] * 100.0
+        if delta < -threshold_percent:
+            regressions.append((path, base[path], cur[path], delta))
+    by_section: Dict[str, List] = {}
+    for entry in regressions:
+        by_section.setdefault(entry[0].split(".", 1)[0], []).append(entry)
+    if not regressions:
+        print(
+            f"benchmark compare: no metric regressed by more than "
+            f"{threshold_percent:.0f}% vs baseline"
+        )
+    for section, entries in sorted(by_section.items()):
+        print(f"benchmark compare: regressions in [{section}]")
+        for path, b, c, delta in entries:
+            print(f"  {path:60s} {b:12.3g} -> {c:12.3g}  ({delta:+.1f}%)")
+    skipped = sorted(set(base) ^ set(cur))
+    if skipped:
+        print(
+            f"benchmark compare: {len(skipped)} metric(s) present on only one "
+            "side were skipped (schema drift)"
+        )
+    return regressions

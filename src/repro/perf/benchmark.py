@@ -481,71 +481,13 @@ def write_benchmark(
     return path
 
 
-#: Leaf-metric suffixes compared by ``--compare`` (all higher-is-better).
-_COMPARE_METRIC_SUFFIXES = (
-    "_per_s",
-    "speedup",
-    "speedup_vs_interp",
-    "reduction_percent",
-    "fraction_of_memcpy",
+# The diffing logic lives in repro.core.benchcompare (shared with the
+# serving bench); re-exported here because this module is its historic home.
+from repro.core.benchcompare import (  # noqa: E402  (re-export)
+    COMPARE_METRIC_SUFFIXES as _COMPARE_METRIC_SUFFIXES,
+    compare_benchmarks,
+    metric_leaves as _metric_leaves,
 )
-
-
-def _metric_leaves(doc: Dict, prefix: str = "") -> Dict[str, float]:
-    """Flatten a results document to ``{dotted.path: value}`` for comparison."""
-    leaves: Dict[str, float] = {}
-    for key, value in doc.items():
-        path = f"{prefix}{key}"
-        if isinstance(value, dict):
-            leaves.update(_metric_leaves(value, prefix=f"{path}."))
-        elif isinstance(value, (int, float)) and any(
-            path.endswith(suffix) for suffix in _COMPARE_METRIC_SUFFIXES
-        ):
-            leaves[path] = float(value)
-    return leaves
-
-
-def compare_benchmarks(
-    current: Dict, baseline: Dict, threshold_percent: float = 10.0
-) -> List["tuple"]:
-    """Diff two benchmark documents; returns and prints per-section regressions.
-
-    Every shared higher-is-better metric (throughputs, speedups, reduction
-    percentages, roofline fractions) is compared; metrics that dropped by
-    more than ``threshold_percent`` are reported as
-    ``(dotted_path, baseline_value, current_value, delta_percent)`` tuples,
-    grouped by top-level section in the printed summary.  Intended as a
-    non-blocking trend signal (timings on shared CI runners are noisy), so
-    callers should not turn the result into an exit code.
-    """
-    base = _metric_leaves(baseline)
-    cur = _metric_leaves(current)
-    regressions = []
-    for path in sorted(set(base) & set(cur)):
-        if base[path] <= 0:
-            continue
-        delta = (cur[path] - base[path]) / base[path] * 100.0
-        if delta < -threshold_percent:
-            regressions.append((path, base[path], cur[path], delta))
-    by_section: Dict[str, List] = {}
-    for entry in regressions:
-        by_section.setdefault(entry[0].split(".", 1)[0], []).append(entry)
-    if not regressions:
-        print(
-            f"benchmark compare: no metric regressed by more than "
-            f"{threshold_percent:.0f}% vs baseline"
-        )
-    for section, entries in sorted(by_section.items()):
-        print(f"benchmark compare: regressions in [{section}]")
-        for path, b, c, delta in entries:
-            print(f"  {path:60s} {b:12.3g} -> {c:12.3g}  ({delta:+.1f}%)")
-    skipped = sorted(set(base) ^ set(cur))
-    if skipped:
-        print(
-            f"benchmark compare: {len(skipped)} metric(s) present on only one "
-            "side were skipped (schema drift)"
-        )
-    return regressions
 
 
 def main(argv: Optional[List[str]] = None) -> int:

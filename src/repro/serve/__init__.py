@@ -5,6 +5,9 @@ API on top of ``run_batch``" open item): load trained designs through the
 persistent flow cache, accept single and bulk predict requests — over HTTP
 or in process — and coalesce concurrent traffic through an async
 micro-batching queue onto the PR 1 single-matmul / bit-parallel hot paths.
+The server runs either in-process (``workers=0``, the bit-exact oracle) or
+as a frontend routing to a fleet of worker processes (``workers=N``) so
+concurrent models stop contending on one GIL.
 
 Layering (see ``docs/architecture.md`` and ``docs/serving.md``):
 
@@ -14,14 +17,21 @@ Layering (see ``docs/architecture.md`` and ``docs/serving.md``):
   (:class:`ServedModel`, bit-identical to the design's ``run_batch``);
 * :mod:`repro.serve.batching` — the micro-batching queue
   (:class:`MicroBatcher`, ``max_batch_size`` / ``max_latency_ms``);
-* :mod:`repro.serve.server` — :class:`ModelServer`: per-model lanes,
-  stats, graceful shutdown;
+* :mod:`repro.serve.server` — :class:`ModelServer`: per-model lanes and
+  stats in-process, or the frontend router (health checks, crash
+  restarts, fleet-wide stats, graceful drain) over worker processes;
+* :mod:`repro.serve.transport` / :mod:`repro.serve.worker` — the
+  length-prefixed binary frame protocol and the worker-process plane
+  behind ``workers=N``;
 * :mod:`repro.serve.http` / :mod:`repro.serve.client` — the stdlib HTTP
   endpoint (``repro-serve``) and the in-process / HTTP clients;
 * :mod:`repro.serve.stats` — requests/s, batch occupancy, p50/p99 latency
   (the ``/stats`` route);
+* :mod:`repro.serve.loadgen` — seeded open/closed-loop load generation,
+  p50/p99/p999 SLO measurement and saturation search;
 * :mod:`repro.serve.bench` — the ``BENCH_serving.json`` throughput
-  benchmark and its >=5x micro-batching floor.
+  benchmark: the >=5x micro-batching floor plus the multi-worker
+  fleet-vs-oracle section.
 
 Example::
 
@@ -29,15 +39,22 @@ Example::
     from repro.serve import Client, ModelRegistry, ModelServer
 
     registry = ModelRegistry(config=fast_config())
-    with ModelServer(registry) as server:
+    with ModelServer(registry, workers=4) as server:
         client = Client(server)
         client.predict("redwine/ours", [0.5] * 11)   # 11 redwine features
 """
 
 from repro.serve.batching import BatcherClosed, MicroBatcher
-from repro.serve.bench import run_serving_benchmark
+from repro.serve.bench import run_multi_worker_benchmark, run_serving_benchmark
 from repro.serve.client import Client, HTTPClient, HTTPError
 from repro.serve.http import ServingHTTPServer, build_http_server, serve_in_thread
+from repro.serve.loadgen import (
+    LoadResult,
+    ModelTraffic,
+    find_saturation,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serve.model import ServedModel
 from repro.serve.registry import ModelRegistry, parse_model_name
 from repro.serve.server import (
@@ -47,10 +64,13 @@ from repro.serve.server import (
     ServerClosed,
 )
 from repro.serve.stats import StatsRecorder
+from repro.serve.transport import TransportError, WorkerCrashed
+from repro.serve.worker import WorkerHandle, WorkerSpec
 
 __all__ = [
     "BatcherClosed",
     "MicroBatcher",
+    "run_multi_worker_benchmark",
     "run_serving_benchmark",
     "Client",
     "HTTPClient",
@@ -58,6 +78,11 @@ __all__ = [
     "ServingHTTPServer",
     "build_http_server",
     "serve_in_thread",
+    "LoadResult",
+    "ModelTraffic",
+    "find_saturation",
+    "run_closed_loop",
+    "run_open_loop",
     "ServedModel",
     "ModelRegistry",
     "parse_model_name",
@@ -66,4 +91,8 @@ __all__ = [
     "ModelServer",
     "ServerClosed",
     "StatsRecorder",
+    "TransportError",
+    "WorkerCrashed",
+    "WorkerHandle",
+    "WorkerSpec",
 ]

@@ -13,15 +13,23 @@ trajectory to ``BENCH_serving.json``:
   point of the subsystem.  Recorded per batch size with the measured
   occupancy, so throughput-vs-batch-size is tracked PR over PR;
 * a **bit-exactness** check that the served class ids equal the design's
-  direct ``run_batch`` answers on the same rows.
+  direct ``run_batch`` answers on the same rows;
+* **multi_worker** — the frontend/worker fleet vs the single-process
+  oracle on a multi-model mix: closed-loop aggregate throughput (the
+  ``workers=4`` speedup claim), open-loop sustained and bursty SLO runs
+  with p50/p99/p999 tails, the saturation knee, and bit-exactness of the
+  fleet against the ``workers=0`` path.
 
-Entry points: ``python scripts/bench_serving.py`` (writes the JSON) and
-``pytest benchmarks/test_perf_serving.py`` (asserts the >=5x floor).
+Entry points: ``python scripts/bench_serving.py`` (writes the JSON;
+``--compare --baseline`` diffs instead) and
+``pytest benchmarks/test_perf_serving.py`` (asserts the floors).
 
 Example::
 
     results = run_serving_benchmark(n_requests=2048)
     results["best"]["speedup_vs_serial"]      # >= 5.0 on any healthy host
+    fleet = run_multi_worker_benchmark(workers=4)
+    fleet["bit_identical_to_single_process"]  # always True
 """
 
 from __future__ import annotations
@@ -36,9 +44,16 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.benchcompare import compare_benchmarks
 from repro.core.design_flow import fast_config
 from repro.core.flow_executor import run_flow_cached
 from repro.core.paths import bench_output_path
+from repro.serve.loadgen import (
+    ModelTraffic,
+    find_saturation,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ModelServer
 
@@ -50,6 +65,41 @@ DEFAULT_BATCH_SIZES = (8, 32, 256)
 
 #: Client threads offering the concurrent load.
 DEFAULT_CLIENT_THREADS = 4
+
+#: The >=4-model mix the multi-worker section serves (one lane per worker
+#: at the default ``workers=4`` / ``lanes_per_worker=1``).
+DEFAULT_FLEET_DATASETS = ("redwine", "whitewine", "cardio", "dermatology")
+
+#: Worker processes in the default fleet measurement.
+DEFAULT_WORKERS = 4
+
+
+def _effective_cpus() -> float:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return float(len(os.sched_getaffinity(0)))
+    return float(os.cpu_count() or 1)
+
+
+def wait_ready(server: ModelServer, timeout_s: float = 30.0) -> None:
+    """Poll :attr:`ModelServer.ready` until the fleet can serve.
+
+    The readiness handshake (every worker alive and heartbeat-answered) is
+    what the bench scripts poll instead of sleeping an arbitrary interval.
+
+    Example::
+
+        with ModelServer(registry, workers=4) as server:
+            wait_ready(server)
+    """
+    deadline = time.monotonic() + timeout_s
+    while not server.ready:
+        if time.monotonic() >= deadline:
+            raise RuntimeError(
+                f"server not ready within {timeout_s:.0f}s "
+                f"({server.workers} workers)"
+            )
+        time.sleep(0.02)
 
 
 def _request_rows(X: np.ndarray, n_requests: int) -> np.ndarray:
@@ -208,6 +258,147 @@ def run_serving_benchmark(
     }
 
 
+def run_multi_worker_benchmark(
+    datasets: Sequence[str] = DEFAULT_FLEET_DATASETS,
+    kind: str = "ours",
+    workers: int = DEFAULT_WORKERS,
+    lanes_per_worker: int = 1,
+    client_threads: int = DEFAULT_CLIENT_THREADS,
+    requests_per_client: int = 1024,
+    burst: int = 64,
+    slo_duration_s: float = 1.5,
+    seed: int = 0,
+) -> Dict:
+    """Fleet vs single-process oracle on a multi-model mix.
+
+    Every dataset's design is trained (fast flow configuration) in this
+    process first, so the forked workers inherit the warm flow cache and
+    boot without retraining.  The same closed-loop load then runs against
+    a ``workers=0`` server and a ``workers=N`` fleet; the fleet adds
+    open-loop sustained/bursty SLO runs (rates anchored to its measured
+    capacity) and a saturation ramp.
+
+    Bit-exactness is structural — a worker embeds the ``workers=0`` server
+    — and verified anyway: both servers' answers are compared against the
+    designs' direct ``simulate_batch`` ids.
+
+    Example::
+
+        fleet = run_multi_worker_benchmark(workers=4, lanes_per_worker=1)
+        fleet["speedup_vs_single_process"]      # >= 2.5 on a >=4-core host
+        fleet["slo"]["bursty"]["latency_p999_ms"]
+    """
+    config = fast_config()
+    registry = ModelRegistry(config=config, cache=False)
+    mix: List[ModelTraffic] = []
+    expected: Dict[str, np.ndarray] = {}
+    for dataset in datasets:
+        result = run_flow_cached(dataset, kind, config, cache=False)
+        name = f"{dataset}/{kind}"
+        rows = np.asarray(result.split.X_test, dtype=float)
+        mix.append(ModelTraffic(name, rows))
+        expected[name] = np.asarray(result.design.simulate_batch(rows), np.int64)
+
+    def bit_exact(server: ModelServer) -> bool:
+        for traffic in mix:
+            answer = server.predict_many(traffic.name, traffic.rows)
+            got = np.asarray(answer["class_ids"], dtype=np.int64)
+            if not np.array_equal(got, expected[traffic.name]):
+                return False
+        return True
+
+    def serve_all(server: ModelServer) -> None:
+        for traffic in mix:
+            server.open_lane(traffic.name)
+
+    with ModelServer(registry, max_latency_ms=0.5) as oracle:
+        serve_all(oracle)
+        oracle_exact = bit_exact(oracle)
+        single = run_closed_loop(
+            oracle,
+            mix,
+            n_clients=client_threads,
+            requests_per_client=requests_per_client,
+            burst=burst,
+            seed=seed,
+        )
+
+    with ModelServer(
+        registry,
+        max_latency_ms=0.5,
+        workers=workers,
+        lanes_per_worker=lanes_per_worker,
+    ) as fleet:
+        wait_ready(fleet)
+        serve_all(fleet)
+        fleet_exact = bit_exact(fleet)
+        closed = run_closed_loop(
+            fleet,
+            mix,
+            n_clients=client_threads,
+            requests_per_client=requests_per_client,
+            burst=burst,
+            seed=seed,
+        )
+        # The open-loop knee is far below the burst-amortized closed-loop
+        # number (one frame per request), so find it first and anchor the
+        # SLO runs at half of it: tails then reflect service jitter, not a
+        # saturated queue growing without bound.
+        saturation = find_saturation(
+            fleet,
+            mix,
+            start_rate=max(0.05 * closed.achieved_rate, 200.0),
+            duration_s=0.4,
+            max_steps=7,
+            seed=seed,
+        )
+        slo_rate = max(0.5 * saturation["saturation_rate_per_s"], 100.0)
+        sustained = run_open_loop(
+            fleet, mix, rate=slo_rate, duration_s=slo_duration_s, seed=seed
+        )
+        bursty = run_open_loop(
+            fleet,
+            mix,
+            rate=slo_rate,
+            duration_s=slo_duration_s,
+            pattern="bursty",
+            seed=seed,
+        )
+        fleet_stats = fleet.stats()
+
+    return {
+        "datasets": list(datasets),
+        "kind": kind,
+        "workers": int(workers),
+        "lanes_per_worker": int(lanes_per_worker),
+        "client_threads": int(client_threads),
+        "effective_cpus": _effective_cpus(),
+        "single_process": {
+            "aggregate_requests_per_s": single.achieved_rate,
+            "n_requests": single.n_requests,
+            "n_errors": single.n_errors,
+        },
+        "fleet": {
+            "aggregate_requests_per_s": closed.achieved_rate,
+            "n_requests": closed.n_requests,
+            "n_errors": closed.n_errors,
+            "workers_alive": sum(
+                1 for w in fleet_stats["workers"] if w["alive"]
+            ),
+            "worker_restarts": sum(w["restarts"] for w in fleet_stats["workers"]),
+        },
+        "speedup_vs_single_process": (
+            closed.achieved_rate / max(single.achieved_rate, 1e-9)
+        ),
+        "bit_identical_to_single_process": bool(oracle_exact and fleet_exact),
+        "slo": {
+            "sustained": sustained.to_json(),
+            "bursty": bursty.to_json(),
+        },
+        "saturation": saturation,
+    }
+
+
 def write_benchmark(results: Dict, path: Union[str, Path, None] = None) -> Path:
     """Serialize a results document to ``BENCH_serving.json``.
 
@@ -242,10 +433,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="max_batch_size values to sweep",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="worker processes in the multi-worker fleet measurement "
+        "(0 skips the fleet section entirely)",
+    )
+    parser.add_argument(
+        "--lanes-per-worker",
+        type=int,
+        default=1,
+        help="soft cap on model lanes per worker in the fleet measurement",
+    )
+    parser.add_argument(
+        "--fleet-datasets",
+        nargs="+",
+        default=list(DEFAULT_FLEET_DATASETS),
+        help="datasets in the fleet's multi-model mix",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=DEFAULT_OUTPUT,
         help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff a fresh run against a baseline JSON instead of writing; "
+        "prints per-section regressions, always exits 0 (trend signal only)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="baseline JSON for --compare "
+        "(default: the committed BENCH_serving.json)",
     )
     args = parser.parse_args(argv)
     results = run_serving_benchmark(
@@ -254,6 +477,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         n_requests=args.requests,
         batch_sizes=args.batch_sizes,
     )
+    if args.workers > 0:
+        results["multi_worker"] = run_multi_worker_benchmark(
+            datasets=args.fleet_datasets,
+            kind=args.kind,
+            workers=args.workers,
+            lanes_per_worker=args.lanes_per_worker,
+        )
+    if args.compare:
+        baseline = json.loads(Path(args.baseline).read_text())
+        compare_benchmarks(results, baseline)
+        return 0
     path = write_benchmark(results, args.output)
     print(
         f"serial  {results['serial']['requests_per_s']:10.0f} req/s "
@@ -270,5 +504,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bit-identical to run_batch: "
         f"{results['bit_identical_to_run_batch']}"
     )
+    if "multi_worker" in results:
+        fleet = results["multi_worker"]
+        print(
+            f"fleet   {fleet['fleet']['aggregate_requests_per_s']:10.0f} req/s "
+            f"({fleet['workers']} workers, "
+            f"{len(fleet['datasets'])}-model mix, "
+            f"{fleet['speedup_vs_single_process']:.2f}x vs single process "
+            f"on {fleet['effective_cpus']:.0f} CPUs)"
+        )
+        for pattern in ("sustained", "bursty"):
+            slo = fleet["slo"][pattern]
+            print(
+                f"slo/{pattern:9s} offered {slo['offered_rate_per_s']:7.0f}/s "
+                f"p50 {slo['latency_p50_ms']:.2f}ms "
+                f"p99 {slo['latency_p99_ms']:.2f}ms "
+                f"p999 {slo['latency_p999_ms']:.2f}ms"
+            )
+        print(
+            "fleet bit-identical to single process: "
+            f"{fleet['bit_identical_to_single_process']}"
+        )
     print(f"results written to {path}")
     return 0

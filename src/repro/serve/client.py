@@ -24,8 +24,9 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 import urllib.parse
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -97,22 +98,37 @@ class HTTPClient:
     Keeps one persistent HTTP/1.1 connection to the server and reuses it
     across requests (the endpoint speaks keep-alive), so a request costs a
     round trip instead of a TCP handshake plus a round trip.  The connection
-    is re-established transparently — with a single retry — when the server
-    closes it (idle timeout, restart).  Thread-safe: concurrent callers
-    serialize on the connection; use one client per thread for parallel
-    load.
+    is re-established transparently when the server closes it (idle timeout,
+    restart), with up to ``retries`` resends under exponential backoff.
+    Predict requests additionally retry on a ``503`` answer — the status a
+    draining or not-yet-ready server returns — because the served kernels
+    are pure functions of their rows: resending is idempotent, so a worker
+    restart behind the frontend is invisible to callers.  Other verbs never
+    retry on status (a ``healthz`` 503 *is* the answer).  Thread-safe:
+    concurrent callers serialize on the connection; use one client per
+    thread for parallel load.
 
     Example::
 
         client = HTTPClient("http://127.0.0.1:8000", timeout=5.0)
-        client.healthz()["status"]                  # "ok"
+        client.wait_ready()                         # poll until serving
         client.predict("redwine/ours", [0.2] * 11)  # decoded prediction dict
         client.close()                              # drop the kept socket
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
@@ -143,7 +159,12 @@ class HTTPClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, path: str, payload: Union[Dict, None] = None) -> Dict:
+    def _request(
+        self,
+        path: str,
+        payload: Union[Dict, None] = None,
+        retry_status: Tuple[int, ...] = (),
+    ) -> Dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -151,7 +172,7 @@ class HTTPClient:
             headers["Content-Type"] = "application/json"
         method = "GET" if payload is None else "POST"
         url = f"{self._path_prefix}{path}"
-        # Only a dropped kept socket warrants the transparent resend; a
+        # Only a dropped or refused socket warrants the transparent resend; a
         # timeout (or any other error) must propagate — the server may have
         # received and be processing the first copy of the request.
         retryable = (
@@ -161,9 +182,13 @@ class HTTPClient:
             ConnectionError,
         )
         with self._lock:
-            # One transparent retry on a fresh connection covers the server
-            # having dropped the kept socket between requests.
-            for attempt in (0, 1):
+            # Bounded resends on a fresh connection, backing off 50/100/200ms:
+            # covers the server dropping the kept socket between requests and
+            # (for callers passing retry_status) a 503 from a drain window.
+            for attempt in range(self.retries + 1):
+                final = attempt == self.retries
+                if attempt:
+                    time.sleep(self.backoff_s * (1 << (attempt - 1)))
                 conn = self._connection()
                 try:
                     conn.request(method, url, body=data, headers=headers)
@@ -172,13 +197,15 @@ class HTTPClient:
                 except retryable:
                     conn.close()
                     self._conn = None
-                    if attempt:
+                    if final:
                         raise
                     continue
                 except (http.client.HTTPException, OSError):
                     conn.close()
                     self._conn = None
                     raise
+                if response.status in retry_status and not final:
+                    continue
                 if response.status >= 400:
                     try:
                         message = json.loads(body.decode("utf-8")).get("error", "")
@@ -190,13 +217,26 @@ class HTTPClient:
 
     # ------------------------------------------------------------------ #
     def predict(self, model: str, features: Sequence) -> Dict:
-        """POST ``/predict`` with one sample's features."""
-        return self._request("/predict", {"model": model, "features": list(features)})
+        """POST ``/predict`` with one sample's features.
+
+        Idempotent (the kernels are pure), so a 503 from a draining or
+        restarting server is retried with backoff.
+        """
+        return self._request(
+            "/predict",
+            {"model": model, "features": list(features)},
+            retry_status=(503,),
+        )
 
     def predict_many(self, model: str, batch: Sequence) -> Dict:
-        """POST ``/predict`` with a bulk ``batch`` of samples."""
+        """POST ``/predict`` with a bulk ``batch`` of samples.
+
+        Idempotent like :meth:`predict`: retried with backoff on a 503.
+        """
         rows = [list(row) for row in batch]
-        return self._request("/predict", {"model": model, "batch": rows})
+        return self._request(
+            "/predict", {"model": model, "batch": rows}, retry_status=(503,)
+        )
 
     def stats(self) -> Dict:
         """GET ``/stats``."""
@@ -207,5 +247,32 @@ class HTTPClient:
         return self._request("/models")
 
     def healthz(self) -> Dict:
-        """GET ``/healthz``."""
+        """GET ``/healthz`` (never retried on status: the 503 is the answer)."""
         return self._request("/healthz")
+
+    def wait_ready(self, timeout_s: float = 30.0, interval_s: float = 0.05) -> Dict:
+        """Poll ``/healthz`` until the server reports ``ready``.
+
+        The boot handshake bench scripts and tests use instead of sleeping:
+        in fleet mode ``ready`` only turns true once every worker process
+        has answered a heartbeat.  Returns the final health document;
+        raises ``TimeoutError`` if readiness never arrives.
+
+        Example::
+
+            client = HTTPClient(url)
+            client.wait_ready(timeout_s=10.0)["ready"]    # True
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                health = self.healthz()
+                if health.get("ready"):
+                    return health
+            except (HTTPError, OSError):
+                pass  # booting (refused) or shutting down (503): keep polling
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"server at {self.base_url} not ready within {timeout_s:.0f}s"
+                )
+            time.sleep(interval_s)

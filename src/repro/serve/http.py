@@ -16,7 +16,11 @@ Routes
   for bulk; answers labels + class ids + served latency.
 * ``GET /stats`` — per-model request rates, batch occupancy, p50/p99.
 * ``GET /models`` — metadata of every loaded model.
-* ``GET /healthz`` — liveness (``503`` once shutdown has begun).
+* ``GET /healthz`` — liveness (``503`` once shutdown has begun) plus a
+  ``ready`` field: whether the server — including every worker process in
+  fleet mode — can answer predict requests right now.  Bench scripts and
+  clients poll it instead of sleeping (see
+  :meth:`repro.serve.client.HTTPClient.wait_ready`).
 
 Example::
 
@@ -127,9 +131,11 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
         model_server = self.server.model_server
         if self.path == "/healthz":
             if model_server.closed:
-                self._send_json({"status": "shutting down"}, status=503)
+                self._send_json(
+                    {"status": "shutting down", "ready": False}, status=503
+                )
             else:
-                self._send_json({"status": "ok"})
+                self._send_json({"status": "ok", "ready": model_server.ready})
         elif self.path == "/stats":
             self._send_json(model_server.stats())
         elif self.path == "/models":

@@ -1,0 +1,220 @@
+"""Length-prefixed binary framing between the frontend and its workers.
+
+The frontend/worker split (see :mod:`repro.serve.worker`) speaks a tiny
+binary protocol over a ``socketpair``: every message is one *frame* — a
+5-byte header (one message-kind byte plus a big-endian ``uint32`` payload
+length) followed by the payload bytes.  Payloads are pickled Python tuples
+(the channel is private between a parent and the worker processes it
+forked, so pickle's trust model is the process boundary's own).
+
+Frame kinds
+-----------
+* ``MSG_REQUEST`` — ``(req_id, model_name, mode, rows)``: predict work.
+  ``mode`` selects the response shape (``"single"``/``"bulk"`` answer the
+  HTTP-style dicts, ``"ids"`` a raw class-id array, ``"ids_burst"`` one id
+  array for rows submitted as independent single-sample requests).
+* ``MSG_CONTROL`` — ``(req_id, op, arg)``: ``"ping"`` (heartbeat),
+  ``"stats"``, ``"models"``, ``"open_lane"``.
+* ``MSG_RESPONSE`` / ``MSG_ERROR`` — ``(req_id, payload)`` /
+  ``(req_id, error_kind, message)``: the answer to a request or control
+  frame, matched by ``req_id`` (responses may arrive out of order; the
+  worker answers as micro-batches complete).
+* ``MSG_SHUTDOWN`` — ``(drain,)``: one-way; the worker drains (or fails
+  fast), closes its end and exits.  The resulting EOF is the parent's
+  completion signal.
+
+Crash detection is framing-level: a worker that dies mid-frame or closes
+its socket surfaces as ``None`` from :meth:`FrameConnection.recv` (clean
+EOF) or :class:`TransportError` (torn frame), and the frontend reacts by
+restarting the worker and resubmitting its pending requests.
+
+Example::
+
+    parent, child = socket.socketpair()
+    conn = FrameConnection(parent)
+    conn.send(MSG_CONTROL, (1, "ping", None))
+    kind, payload = FrameConnection(child).recv()   # worker side
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any, Optional, Tuple
+
+#: Frame header: one kind byte + big-endian uint32 payload length.
+_HEADER = struct.Struct("!BI")
+
+#: Hard ceiling on one frame's payload (a torn header otherwise makes the
+#: receiver try to allocate gigabytes before noticing the stream is gone).
+MAX_FRAME_BYTES = 256 << 20
+
+MSG_REQUEST = 1
+MSG_CONTROL = 2
+MSG_RESPONSE = 3
+MSG_ERROR = 4
+MSG_SHUTDOWN = 5
+
+#: Error kinds carried by ``MSG_ERROR`` (mapped back to exception types on
+#: the frontend: ``value`` -> ValueError, ``closed`` -> ServerClosed,
+#: anything else -> RuntimeError).
+ERROR_VALUE = "value"
+ERROR_CLOSED = "closed"
+ERROR_INTERNAL = "internal"
+
+
+class TransportError(RuntimeError):
+    """A torn or malformed frame (the peer died mid-message).
+
+    Example::
+
+        try:
+            conn.recv()
+        except TransportError:
+            ...  # treat exactly like EOF: the worker is gone
+    """
+
+
+class WorkerCrashed(RuntimeError):
+    """Raised to callers whose worker died before answering.
+
+    Predict requests are resubmitted transparently on the restarted worker
+    (the kernels are pure functions of their rows), so user-visible
+    ``WorkerCrashed`` is reserved for non-idempotent bookkeeping calls and
+    for workers that died with restarts disabled.
+
+    Example::
+
+        try:
+            handle.call(MSG_CONTROL, ("stats", None)).result()
+        except WorkerCrashed:
+            ...  # skip this worker in the aggregate view
+    """
+
+
+def encode(obj: Any) -> bytes:
+    """Pickle one frame payload (highest protocol: zero-copy numpy buffers).
+
+    Example::
+
+        >>> import pickle
+        >>> pickle.loads(encode((1, "ping", None)))
+        (1, 'ping', None)
+    """
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(payload: bytes) -> Any:
+    """Unpickle one frame payload (inverse of :func:`encode`)."""
+    return pickle.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame raises :class:`TransportError` — the peer died
+    mid-message and the stream cannot be resynchronized.
+    """
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except (ConnectionResetError, BrokenPipeError):
+            chunk = b""
+        if not chunk:
+            if remaining == n:
+                return None
+            raise TransportError(
+                f"stream ended {remaining} bytes short of a {n}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameConnection:
+    """One framed, thread-safe end of a frontend<->worker socket.
+
+    Sends are serialized by a lock (micro-batch completion callbacks answer
+    from several worker threads); receives are meant to be driven by a
+    single reader loop per connection.
+
+    Example::
+
+        parent_sock, child_sock = socket.socketpair()
+        conn = FrameConnection(parent_sock)
+        conn.send(MSG_SHUTDOWN, (True,))
+        conn.close()
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    # ------------------------------------------------------------------ #
+    def send(self, kind: int, obj: Any) -> None:
+        """Frame and send one message; raises ``OSError`` if the peer died."""
+        payload = encode(obj)
+        if len(payload) > MAX_FRAME_BYTES:
+            raise ValueError(
+                f"frame payload of {len(payload)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte transport ceiling"
+            )
+        frame = _HEADER.pack(kind, len(payload)) + payload
+        with self._send_lock:
+            if self._closed:
+                raise OSError("connection is closed")
+            self._sock.sendall(frame)
+
+    def recv(self) -> Optional[Tuple[int, Any]]:
+        """Receive one ``(kind, payload)`` message; ``None`` on clean EOF."""
+        header = _recv_exact(self._sock, _HEADER.size)
+        if header is None:
+            return None
+        kind, length = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame announces {length} bytes (ceiling {MAX_FRAME_BYTES}); "
+                "stream is corrupt"
+            )
+        payload = _recv_exact(self._sock, length) if length else b""
+        if length and payload is None:
+            raise TransportError("stream ended between a header and its payload")
+        return kind, decode(payload) if length else None
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the underlying socket; idempotent."""
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def connection_pair() -> Tuple[FrameConnection, socket.socket]:
+    """A framed parent end plus the raw child socket for one new worker.
+
+    The child's end stays a raw socket until after the fork (the worker
+    wraps it itself), so the parent can close its copy without touching
+    shared framing state.
+
+    Example::
+
+        parent_conn, child_sock = connection_pair()
+        # fork; child: FrameConnection(child_sock); parent: child_sock.close()
+    """
+    parent_sock, child_sock = socket.socketpair()
+    return FrameConnection(parent_sock), child_sock

@@ -145,6 +145,87 @@ def test_http_error_codes(endpoint, request_rows):
     assert err.value.status == 404
 
 
+def test_healthz_reports_ready(endpoint):
+    health = endpoint.healthz()
+    assert health["status"] == "ok"
+    assert health["ready"] is True
+    assert endpoint.wait_ready(timeout_s=5.0)["ready"] is True
+
+
+def test_fleet_endpoint_end_to_end(registry, sequential_design, request_rows):
+    """HTTP over a worker fleet: poll ready, predict, aggregated stats."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fleet needs the fork start method")
+    server = ModelServer(registry, max_batch_size=16, max_latency_ms=1.0, workers=2)
+    httpd = serve_in_thread(server, port=0)
+    host, port = httpd.server_address[:2]
+    client = HTTPClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        assert client.wait_ready(timeout_s=30.0)["ready"] is True
+        expected = sequential_design.simulate_batch(request_rows)
+        out = client.predict_many(MODEL_NAME, request_rows.tolist())
+        assert out["class_ids"] == [int(i) for i in expected]
+        stats = client.stats()
+        assert stats["models"][MODEL_NAME]["requests_total"] >= 1
+        assert [w["alive"] for w in stats["workers"]] == [True, True]
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        server.shutdown()
+
+
+def test_predict_retries_on_503_with_backoff(request_rows):
+    """A 503 window (drain/restart) is invisible to predict callers."""
+    import json as json_module
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    hits = {"predict": 0}
+
+    class FlakyHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass
+
+        def _reply(self, status, payload):
+            body = json_module.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_POST(self):
+            self.rfile.read(int(self.headers.get("Content-Length", 0) or 0))
+            hits["predict"] += 1
+            if hits["predict"] <= 2:
+                self._reply(503, {"error": "draining"})
+            else:
+                self._reply(200, {"class_id": 1})
+
+        def do_GET(self):
+            self._reply(503, {"error": "draining"})
+
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), FlakyHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    client = HTTPClient(f"http://{host}:{port}", retries=3, backoff_s=0.01)
+    try:
+        # predict rides out the two 503s (idempotent, bounded backoff)...
+        assert client.predict(MODEL_NAME, list(request_rows[0]))["class_id"] == 1
+        assert hits["predict"] == 3
+        # ...but healthz never retries on status: the 503 is the answer.
+        with pytest.raises(HTTPError) as err:
+            client.healthz()
+        assert err.value.status == 503
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
 def test_http_shutdown_returns_503(registry, request_rows):
     server = ModelServer(registry, max_batch_size=8, max_latency_ms=0.0)
     httpd = serve_in_thread(server, port=0)
@@ -230,4 +311,68 @@ def test_cli_serves_http_end_to_end(monkeypatch, tiny_flow_config):
     finally:
         httpd.shutdown()
         thread.join(timeout=30.0)
+    assert not thread.is_alive()
+
+
+def test_cli_serves_worker_fleet_end_to_end(monkeypatch, tiny_flow_config):
+    """repro-serve --workers 2: training happens in the workers, /healthz
+    turns ready, and predictions flow through the frontend router."""
+    import multiprocessing
+
+    import repro.cli as cli
+    import repro.serve.http as serve_http
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fleet needs the fork start method")
+
+    captured = {}
+    original = serve_http.ServingHTTPServer.serve_forever
+
+    def capturing_serve_forever(self, *args, **kwargs):
+        captured["httpd"] = self
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(
+        serve_http.ServingHTTPServer, "serve_forever", capturing_serve_forever
+    )
+    monkeypatch.setattr(cli, "fast_config", lambda: tiny_flow_config)
+
+    thread = threading.Thread(
+        target=cli.main_serve,
+        args=(
+            [
+                "--models",
+                "redwine/ours",
+                "--port",
+                "0",
+                "--fast",
+                "--no-cache",
+                "--workers",
+                "2",
+                "--lanes-per-worker",
+                "1",
+            ],
+        ),
+        daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 120.0
+    while "httpd" not in captured and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert "httpd" in captured, "CLI fleet server did not come up"
+    httpd = captured["httpd"]
+    host, port = httpd.server_address[:2]
+    client = HTTPClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        assert client.wait_ready(timeout_s=60.0)["ready"] is True
+        models = client.models()["models"]
+        assert [m["name"] for m in models] == ["redwine/ours"]
+        out = client.predict("redwine/ours", [0.5] * models[0]["n_features"])
+        assert out["model"] == "redwine/ours"
+        stats = client.stats()
+        assert len(stats["workers"]) == 2
+        assert sum(len(w["models"]) for w in stats["workers"]) == 1
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=60.0)
     assert not thread.is_alive()
