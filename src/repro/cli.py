@@ -22,6 +22,7 @@ from repro.core.design_flow import FlowConfig, MODEL_KINDS, fast_config
 from repro.core.flow_executor import CacheSpec, FlowResultCache, run_flow_cached
 from repro.datasets import available_datasets
 from repro.eval.reference import PAPER_CLAIMS
+from repro.perf.engines import ENGINES
 from repro.eval.reporting import breakdown_summary, markdown_claims
 from repro.eval.table1 import (
     design_mac_netlist,
@@ -132,12 +133,14 @@ def main_table1(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("interp", "fused", "codegen", "auto"),
+        choices=ENGINES,
         default="auto",
         help="bit-parallel execution engine for the gate-level verification "
         "sweeps: interp = one numpy dispatch per gate op, fused = one "
         "gather/op/scatter per (layer, opcode) group, codegen = one "
-        "generated+compiled kernel per netlist structure, auto = pick per "
+        "generated+compiled kernel per netlist structure, native = the same "
+        "kernel compiled as C and called through ctypes (degrades to codegen "
+        "with a warning when no C toolchain exists), auto = pick per "
         "program size (all bit-exact; speed only)",
     )
     _add_common_arguments(parser)

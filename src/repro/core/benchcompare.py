@@ -15,13 +15,15 @@ noisy), so callers print the result and exit 0.
 Example::
 
     current = run_serving_benchmark()
-    baseline = json.loads(Path("BENCH_serving.json").read_text())
+    baseline = load_baseline("BENCH_serving.json")
     regressions = compare_benchmarks(current, baseline)   # prints a summary
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
 
 #: Leaf-metric suffixes compared by ``--compare`` (all higher-is-better).
 COMPARE_METRIC_SUFFIXES = (
@@ -57,6 +59,49 @@ def metric_leaves(doc: Dict, prefix: str = "") -> Dict[str, float]:
         ):
             leaves[path] = float(value)
     return leaves
+
+
+class BenchmarkBaselineError(ValueError):
+    """A ``--compare`` baseline is missing, unreadable or not a benchmark doc."""
+
+
+def load_baseline(path: Union[str, Path]) -> Dict:
+    """Load and validate a ``--compare`` baseline document.
+
+    Raises :class:`BenchmarkBaselineError` with a message naming the file
+    and the problem — missing/unreadable file, invalid JSON, a non-object
+    document, or a document with no comparable metric leaves — so the bench
+    CLIs can exit non-zero with one clear line instead of a ``KeyError``
+    traceback.  Callers should load the baseline *before* the (expensive)
+    fresh benchmark run.
+
+    Example::
+
+        baseline = load_baseline("BENCH_simulation.json")
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise BenchmarkBaselineError(
+            f"baseline {path} is not readable: {error}"
+        ) from error
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BenchmarkBaselineError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(doc, dict):
+        raise BenchmarkBaselineError(
+            f"baseline {path} must be a JSON object, got {type(doc).__name__}"
+        )
+    if not metric_leaves(doc):
+        raise BenchmarkBaselineError(
+            f"baseline {path} contains no comparable benchmark metrics "
+            f"(no numeric leaves ending in {', '.join(COMPARE_METRIC_SUFFIXES)})"
+        )
+    return doc
 
 
 def compare_benchmarks(

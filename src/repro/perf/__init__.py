@@ -15,14 +15,21 @@ that with a two-stage compile -> bitsim pipeline:
   bitwise kernel, so a sweep costs ``O(gates * vectors / 64)`` instead of
   ``O(gates * vectors)`` interpreted steps.
 * :mod:`repro.perf.engines` — fused and code-generating execution backends
-  behind one ``engine='interp'|'fused'|'codegen'|'auto'`` selector:
-  ``fused`` levelizes the op stream and executes one gather/op/scatter per
-  (layer, opcode) group; ``codegen`` emits the whole cone as one generated,
-  ``compile()``d Python function (cached per netlist structure) that runs
-  on numpy words or whole-row Python bigints depending on batch size.
-  Both are bit-exact vs ``interp``; the selector threads through
-  :func:`~repro.perf.bitsim.evaluator_for`, the sequential engine, the
-  benchmarks and the ``repro-table1 --engine`` flag.
+  behind one ``engine='interp'|'fused'|'codegen'|'native'|'auto'``
+  selector: ``fused`` levelizes the op stream and executes one
+  gather/op/scatter per (layer, opcode) group; ``codegen`` emits the whole
+  cone as one generated, ``compile()``d Python function (cached per netlist
+  structure) that runs on numpy words or whole-row Python bigints depending
+  on batch size.  All are bit-exact vs ``interp``; the selector threads
+  through :func:`~repro.perf.bitsim.evaluator_for`, the sequential engine,
+  the benchmarks and the ``repro-table1 --engine`` flag.
+* :mod:`repro.perf.native` — the ``native`` engine: the same planned kernel
+  emitted as C, compiled with the system toolchain (``-O2 -fPIC -shared``)
+  into a shared object called through ``ctypes`` (which releases the GIL,
+  so large batches shard the word axis across a persistent thread pool),
+  cached in memory and on disk under the ``$REPRO_CACHE_DIR`` root.
+  Degrades to ``codegen`` with a one-time warning on hosts without a C
+  compiler.
 * :mod:`repro.perf.seqsim` — the *sequential* engine: clocked netlists
   (real D flip-flops, feedback loops) split at their register boundaries
   into one combinational cone program, then clocked N cycles with packed
@@ -70,12 +77,21 @@ from repro.perf.engines import (
     ENGINES,
     CodegenEvaluator,
     FusedEvaluator,
+    KernelPlan,
+    available_engines,
     generate_kernel_source,
     levelize,
     make_evaluator,
+    plan_kernel,
     resolve_engine,
 )
 from repro.perf.flow_bench import run_flow_benchmark
+from repro.perf.native import (
+    NativeEvaluator,
+    find_toolchain,
+    generate_c_kernel_source,
+    native_available,
+)
 from repro.perf.seqsim import (
     SequentialEvaluator,
     SequentialProgram,
@@ -91,15 +107,22 @@ __all__ = [
     "CompiledProgram",
     "ENGINES",
     "FusedEvaluator",
+    "KernelPlan",
+    "NativeEvaluator",
     "SequentialEvaluator",
     "SequentialProgram",
+    "available_engines",
     "compile_netlist",
     "compile_sequential",
     "evaluator_for",
+    "find_toolchain",
+    "generate_c_kernel_source",
     "generate_kernel_source",
     "levelize",
     "make_evaluator",
+    "native_available",
     "pack_vectors",
+    "plan_kernel",
     "resolve_engine",
     "sequential_evaluator_for",
     "simulate_netlist_batch",

@@ -20,9 +20,11 @@ tracked PR over PR:
   multiplier), plus the simulation speedup of evaluating the optimized
   program and a random-vector equivalence check.
 * **roofline** — gate-evals/s of every execution engine (``interp`` /
-  ``fused`` / ``codegen``, see :mod:`repro.perf.engines`) against a measured
-  memcpy-bandwidth baseline, locating each engine between dispatch-limited
-  and machine-limited.
+  ``fused`` / ``codegen`` / ``native`` where a C toolchain exists, see
+  :mod:`repro.perf.engines` and :mod:`repro.perf.native`) against a
+  measured memcpy-bandwidth baseline, locating each engine between
+  dispatch-limited and machine-limited, plus a ``native`` thread-scaling
+  curve at 1/2/4 shards over the word axis.
 
 Entry points: ``python scripts/bench_simulation.py`` (writes the JSON;
 ``--compare`` diffs a fresh run against the committed baseline instead) and
@@ -34,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -58,7 +61,18 @@ from repro.hw.simulate import (
     simulate_sequential_reference,
 )
 from repro.perf.bitsim import evaluator_for
+from repro.perf.engines import available_engines
 from repro.perf.seqsim import sequential_evaluator_for
+
+
+def _concrete_engines() -> List[str]:
+    """The concrete engines to benchmark on this host, in ENGINES order.
+
+    ``native`` appears only where a C toolchain was found; ``--compare``
+    skips metrics present on one side only, so per-host schema drift in the
+    recorded document is benign.
+    """
+    return [e for e in available_engines() if e != "auto"]
 
 
 from repro.core.paths import bench_output_path as _bench_output_path
@@ -144,8 +158,9 @@ def benchmark_gate_level(
 ) -> Dict[str, Dict[str, float]]:
     """Compiled bit-parallel sweeps vs the interpreted per-gate reference.
 
-    Every execution engine (``interp``, ``fused``, ``codegen``) is timed on
-    each workload and checked bit-exact against the interp sweep.  The
+    Every concrete execution engine (``interp``, ``fused``, ``codegen``,
+    plus ``native`` where a toolchain exists) is timed on each workload and
+    checked bit-exact against the interp sweep.  The
     historical ``bitsim_gate_evals_per_s`` / ``speedup`` keys keep their
     meaning (interp engine, full ``evaluate`` including pack/unpack, vs the
     interpreted dict-walk) so the trajectory in ``BENCH_simulation.json``
@@ -174,9 +189,8 @@ def benchmark_gate_level(
         # Compile every engine outside the timed region.
         from repro.perf.bitsim import pack_vectors
 
-        evaluators = {
-            e: evaluator_for(netlist, engine=e) for e in ("interp", "fused", "codegen")
-        }
+        engines = _concrete_engines()
+        evaluators = {e: evaluator_for(netlist, engine=e) for e in engines}
         reference = evaluators["interp"].evaluate(vectors)
         equivalent = all(
             np.array_equal(ev.evaluate(vectors), reference)
@@ -193,7 +207,7 @@ def benchmark_gate_level(
                 lambda ev=ev: ev.evaluate_packed_slots(packed, output_slots),
                 repeats=20,
             )
-            for e in ("interp", "fused", "codegen")
+            for e in engines
             for ev in (evaluators[e],)
         }
         gate_evals = netlist.n_gates() * n_vectors
@@ -205,10 +219,10 @@ def benchmark_gate_level(
             "bitsim_gate_evals_per_s": gate_evals / t_fast,
             "speedup": t_ref / t_fast,
         }
-        for e in ("interp", "fused", "codegen"):
+        for e in engines:
             record[f"{e}_packed_gate_evals_per_s"] = gate_evals / t_engine[e]
-        for e in ("fused", "codegen"):
-            record[f"{e}_speedup_vs_interp"] = t_engine["interp"] / t_engine[e]
+            if e != "interp":
+                record[f"{e}_speedup_vs_interp"] = t_engine["interp"] / t_engine[e]
         results[name] = record
     return results
 
@@ -263,7 +277,7 @@ def benchmark_sequential(
         evaluator = sequential_evaluator_for(netlist)
         engine_evaluators = {
             e: sequential_evaluator_for(netlist, engine=e)
-            for e in ("interp", "fused", "codegen")
+            for e in _concrete_engines()
         }
         reference = np.stack(
             [simulate_sequential_reference(netlist, row, cycles) for row in rows],
@@ -294,8 +308,9 @@ def benchmark_sequential(
             "seqsim_cycle_evals_per_s": cycle_evals / t_fast,
             "speedup": t_ref / t_fast,
         }
-        for e in ("fused", "codegen"):
-            record[f"{e}_speedup_vs_interp"] = t_engine["interp"] / t_engine[e]
+        for e in t_engine:
+            if e != "interp":
+                record[f"{e}_speedup_vs_interp"] = t_engine["interp"] / t_engine[e]
         record["interp_cycle_evals_per_s"] = cycle_evals / t_engine["interp"]
         results[name] = record
         results[name]["auto_engine_is_codegen"] = (
@@ -332,7 +347,13 @@ def benchmark_roofline(
     measured :func:`measure_memcpy_bandwidth` baseline says how far each
     engine still is from machine-limited execution (dispatch overhead shows
     up as a small fraction).  Workload: the 45-gate 5x5 array multiplier —
-    the same netlist the perf-smoke engine floor is asserted on.
+    the same netlist the perf-smoke engine floors are asserted on.
+
+    Where the ``native`` engine is available, a ``native_thread_scaling``
+    subsection additionally sweeps the same kernel at 1/2/4 forced shards
+    over the word axis on a larger batch (the ctypes call releases the GIL,
+    so shards run truly in parallel on multi-core hosts; on a 1-core host
+    the curve is honestly flat).
     """
     netlist = build_array_multiplier_netlist(5, 5)
     rng = np.random.default_rng(seed)
@@ -344,7 +365,7 @@ def benchmark_roofline(
     memcpy_bytes_per_s = measure_memcpy_bandwidth()
     engines: Dict[str, Dict[str, float]] = {}
     n_ops = None
-    for e in ("interp", "fused", "codegen"):
+    for e in _concrete_engines():
         evaluator = evaluator_for(netlist, engine=e)
         n_ops = evaluator.program.n_ops
         slots = evaluator.program.output_slots
@@ -356,7 +377,7 @@ def benchmark_roofline(
             "effective_bytes_per_s": min_bytes / t,
             "fraction_of_memcpy": (min_bytes / t) / memcpy_bytes_per_s,
         }
-    return {
+    result: Dict[str, object] = {
         "workload": "array_multiplier_5x5",
         "n_gates": float(netlist.n_gates()),
         "n_ops": float(n_ops),
@@ -365,6 +386,38 @@ def benchmark_roofline(
         "memcpy_bytes_per_s": memcpy_bytes_per_s,
         "engines": engines,
     }
+    if "native" in engines:
+        # Thread-scaling curve on a batch wide enough that one shard's work
+        # dwarfs the pool handoff (>= 1024 words per shard at 4 shards).
+        scale_vectors = max(n_vectors, 262_144)
+        wide = rng.integers(0, 2, size=(scale_vectors, len(netlist.inputs)))
+        packed_wide, _ = pack_vectors(wide)
+        evaluator = evaluator_for(netlist, engine="native")
+        slots = evaluator.program.output_slots
+        scaling: Dict[str, Dict[str, float]] = {}
+        t_one = None
+        try:
+            for threads in (1, 2, 4):
+                evaluator.threads = threads
+                t = _time(
+                    lambda: evaluator.evaluate_packed_slots(packed_wide, slots),
+                    repeats=3,
+                )
+                if t_one is None:
+                    t_one = t
+                scaling[f"threads_{threads}"] = {
+                    "gate_evals_per_s": netlist.n_gates() * scale_vectors / t,
+                    "scaling_vs_1_thread": t_one / t,
+                }
+        finally:
+            evaluator.threads = None
+        result["native_thread_scaling"] = {
+            "n_vectors": float(scale_vectors),
+            "n_words": float(packed_wide.shape[1]),
+            "effective_cpus": float(os.cpu_count() or 1),
+            **scaling,
+        }
+    return result
 
 
 # --------------------------------------------------------------------------- #
@@ -448,27 +501,34 @@ def run_simulation_benchmark(fast: bool = True, seed: int = 0) -> Dict:
         netlist_opt = benchmark_optimization(n_vectors=4096, seed=seed)
         sequential = benchmark_sequential(n_vectors=256, seed=seed)
         roofline = benchmark_roofline(n_vectors=65536, seed=seed)
+    min_speedups = {
+        "datapath_batch": min(r["speedup"] for r in datapath.values()),
+        "gate_level_bitsim": min(r["speedup"] for r in gates.values()),
+        "sequential_sim": min(r["speedup"] for r in sequential.values()),
+        "netlist_opt_reduction_percent": min(
+            r["reduction_percent"] for r in netlist_opt.values()
+        ),
+        "engine_codegen_vs_interp_45g_multiplier": gates[
+            "array_multiplier_5x5"
+        ]["codegen_speedup_vs_interp"],
+    }
+    if "native" in roofline["engines"]:
+        min_speedups["engine_native_vs_codegen_45g_multiplier"] = (
+            roofline["engines"]["native"]["gate_evals_per_s"]
+            / roofline["engines"]["codegen"]["gate_evals_per_s"]
+        )
     return {
         "benchmark": "simulation_throughput",
         "config": "fast" if fast else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "engines_benchmarked": _concrete_engines(),
         "datapath": datapath,
         "gate_level": gates,
         "sequential_sim": sequential,
         "netlist_opt": netlist_opt,
         "roofline": roofline,
-        "min_speedups": {
-            "datapath_batch": min(r["speedup"] for r in datapath.values()),
-            "gate_level_bitsim": min(r["speedup"] for r in gates.values()),
-            "sequential_sim": min(r["speedup"] for r in sequential.values()),
-            "netlist_opt_reduction_percent": min(
-                r["reduction_percent"] for r in netlist_opt.values()
-            ),
-            "engine_codegen_vs_interp_45g_multiplier": gates[
-                "array_multiplier_5x5"
-            ]["codegen_speedup_vs_interp"],
-        },
+        "min_speedups": min_speedups,
     }
 
 
@@ -485,7 +545,9 @@ def write_benchmark(
 # serving bench); re-exported here because this module is its historic home.
 from repro.core.benchcompare import (  # noqa: E402  (re-export)
     COMPARE_METRIC_SUFFIXES as _COMPARE_METRIC_SUFFIXES,
+    BenchmarkBaselineError,
     compare_benchmarks,
+    load_baseline,
     metric_leaves as _metric_leaves,
 )
 
@@ -512,7 +574,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--compare",
         action="store_true",
         help="diff a fresh run against a baseline JSON instead of writing; "
-        "prints per-section regressions, always exits 0 (trend signal only)",
+        "prints per-section regressions, exits 0 when the baseline is usable "
+        "(trend signal only) and 2 when it is missing or malformed",
     )
     parser.add_argument(
         "--baseline",
@@ -522,9 +585,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: the committed BENCH_simulation.json)",
     )
     args = parser.parse_args(argv)
+    baseline = None
+    if args.compare:
+        # Validate before the (expensive) fresh run: a missing or malformed
+        # baseline is a usage error, reported in one line, exit code 2.
+        try:
+            baseline = load_baseline(args.baseline)
+        except BenchmarkBaselineError as error:
+            import sys
+
+            print(f"bench_simulation --compare: {error}", file=sys.stderr)
+            return 2
     results = run_simulation_benchmark(fast=not args.full)
     if args.compare:
-        baseline = json.loads(Path(args.baseline).read_text())
         compare_benchmarks(results, baseline)
         return 0
     path = write_benchmark(results, args.output)
@@ -545,5 +618,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{record['gate_evals_per_s']:.3g} gate-evals/s  "
             f"({100 * record['fraction_of_memcpy']:.1f}% of memcpy bandwidth)"
         )
+    scaling = roofline.get("native_thread_scaling")
+    if scaling:
+        for key in ("threads_1", "threads_2", "threads_4"):
+            record = scaling[key]
+            print(
+                f"{'native-scale':14s} {key:24s} "
+                f"{record['gate_evals_per_s']:.3g} gate-evals/s  "
+                f"({record['scaling_vs_1_thread']:.2f}x vs 1 thread, "
+                f"{int(scaling['effective_cpus'])} cpus)"
+            )
     print(f"results written to {path}")
     return 0

@@ -4,7 +4,7 @@
 issues one numpy dispatch per gate op, so the sub-200-gate netlists behind
 Table I are dispatch-bound: each ``state[dst] = state[a] & state[b]`` costs
 far more in ufunc dispatch than in actual 64-bit word work.  This module
-provides two drop-in replacements that execute the *same*
+provides drop-in replacements that execute the *same*
 :class:`~repro.perf.compile.CompiledProgram` bit-exactly while paying that
 overhead once per group — or not at all:
 
@@ -34,13 +34,22 @@ overhead once per group — or not at all:
 
     The evaluator switches domains on ``n_words`` at call time.
 
+``native``
+    The C twin of ``codegen`` (:mod:`repro.perf.native`): the same planned
+    kernel is emitted as one C function of chained bitwise ops over
+    ``uint64_t`` words, compiled with the system toolchain into a shared
+    object called through ``ctypes`` — which releases the GIL, so large
+    batches shard the word axis across a small persistent thread pool.
+    On hosts with no C compiler, ``native`` degrades to ``codegen`` with a
+    one-time warning (``auto`` never selects ``native``).
+
 ``auto`` picks ``codegen`` for program sizes where one generated function is
 compilable and fastest, and falls back to ``fused`` for very large programs
 (CPython's compiler and the per-structure compile cost scale with program
 size; gather/scatter amortizes better there).
 
-Both engines subclass :class:`BitParallelEvaluator`, so the scalar
-``evaluate_single`` fast path and the packed API are shared, and both are
+All engines subclass :class:`BitParallelEvaluator`, so the scalar
+``evaluate_single`` fast path and the packed API are shared, and all are
 validated bit-exact against ``interp`` across the netlist zoo (combinational
 and sequential, all opt levels) by ``tests/perf/test_engines.py``.
 
@@ -53,7 +62,9 @@ points rather than these classes directly::
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,27 +88,56 @@ from repro.perf.compile import (
 )
 
 #: The recognised engine names, in documentation order.
-ENGINES = ("interp", "fused", "codegen", "auto")
+ENGINES = ("interp", "fused", "codegen", "native", "auto")
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    """An integer tuning knob from the environment, validated.
+
+    Unset or empty means ``default``.  Anything that is not an integer, or
+    an integer below ``minimum``, raises ``ValueError`` naming the variable
+    — a silently ignored typo in a roofline experiment is worse than a
+    startup crash.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={raw!r} is not an integer"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"environment variable {name}={value} is below {minimum}")
+    return value
+
 
 #: ``auto`` resolves to ``codegen`` up to this many ops, ``fused`` beyond.
 #: Generated-function compile time and bytecode size grow linearly with the
 #: program; past a few thousand ops the per-structure compile stops paying
-#: for itself and gather/scatter fusion amortizes better.
-AUTO_CODEGEN_MAX_OPS = 20_000
+#: for itself and gather/scatter fusion amortizes better.  Overridable via
+#: ``$REPRO_AUTO_CODEGEN_MAX_OPS`` (read once at import).
+AUTO_CODEGEN_MAX_OPS = _env_int("REPRO_AUTO_CODEGEN_MAX_OPS", 20_000, minimum=1)
 
 #: The codegen engine runs on Python bigints (one arbitrary-precision int
 #: per net row) up to this many words per row, and on numpy arrays beyond.
 #: Measured crossover on the 45-gate array multiplier: bigints win ~10x at
-#: 4 words and still ~3x at 128; numpy wins past ~512 words.
-BIGINT_MAX_WORDS = 256
+#: 4 words and still ~3x at 128; numpy wins past ~512 words.  Overridable
+#: via ``$REPRO_BIGINT_MAX_WORDS`` (read once at import; 0 forces numpy).
+BIGINT_MAX_WORDS = _env_int("REPRO_BIGINT_MAX_WORDS", 256, minimum=0)
 
 
 def resolve_engine(engine: str, program: CompiledProgram) -> str:
     """Resolve an ``engine=`` argument to a concrete engine name.
 
     ``auto`` picks ``codegen`` for programs up to
-    :data:`AUTO_CODEGEN_MAX_OPS` ops and ``fused`` beyond; the three
-    concrete names pass through.  Unknown names raise ``ValueError``.
+    :data:`AUTO_CODEGEN_MAX_OPS` ops and ``fused`` beyond — never
+    ``native``, which must be requested explicitly.  ``native`` resolves to
+    itself only when a C toolchain is present; otherwise it degrades to
+    ``codegen`` with a one-time warning, so the engine-keyed evaluator
+    caches naturally share the fallback instance.  The concrete names pass
+    through.  Unknown names raise ``ValueError``.
 
     Example::
 
@@ -107,7 +147,27 @@ def resolve_engine(engine: str, program: CompiledProgram) -> str:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if engine == "auto":
         return "codegen" if program.n_ops <= AUTO_CODEGEN_MAX_OPS else "fused"
+    if engine == "native":
+        from repro.perf import native as native_mod
+
+        if not native_mod.native_available():
+            native_mod.warn_toolchain_missing()
+            return "codegen"
     return engine
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The engine names usable on this host, in :data:`ENGINES` order.
+
+    ``native`` is listed only when a C toolchain was found (requesting it
+    without one still works — it degrades to ``codegen`` — but callers like
+    the served-model metadata and the benchmarks want the honest list).
+    """
+    from repro.perf import native as native_mod
+
+    if native_mod.native_available():
+        return ENGINES
+    return tuple(e for e in ENGINES if e != "native")
 
 
 def levelize(program: CompiledProgram) -> List[List[int]]:
@@ -156,6 +216,17 @@ class FusedEvaluator(BitParallelEvaluator):
     matrix and writes straight into the state slice with ``out=``.
     Single-op groups skip the gather and run like the interpreter.
 
+    The state matrix and the per-group gather buffers are *scratch*,
+    allocated once per distinct ``n_words`` and reused across calls (every
+    destination row is fully rewritten each run, so no zeroing is needed
+    between calls; what escapes the evaluator is always a fancy-index copy,
+    never a view of the scratch).  Consequence: one ``FusedEvaluator``
+    instance is **not safe for concurrent calls from multiple threads** —
+    which matches how the evaluator caches hand instances out (one per
+    netlist structure, used from the single simulation thread).  Scratch is
+    keyed by batch width and bounded to a few widths; evaluator instances
+    themselves are retired on structural mutation, taking the scratch along.
+
     Bit-exact vs the interp engine by construction (same SSA program, only
     the execution schedule changes).
 
@@ -163,6 +234,9 @@ class FusedEvaluator(BitParallelEvaluator):
 
         out = FusedEvaluator(compile_netlist(netlist)).evaluate(vectors)
     """
+
+    #: Distinct batch widths whose scratch is kept before the pool resets.
+    _MAX_SCRATCH_WIDTHS = 4
 
     def __init__(self, program: CompiledProgram) -> None:
         super().__init__(program)
@@ -209,6 +283,9 @@ class FusedEvaluator(BitParallelEvaluator):
                 groups.append((opcode, gather, size, lo, 0, 0, 0))
         self._perm = perm
         self._groups = groups
+        # n_words -> (state matrix, per-group gather buffers), reused across
+        # calls; see the class docstring for the thread-safety contract.
+        self._scratch: Dict[int, Tuple[np.ndarray, List[Optional[np.ndarray]]]] = {}
 
     # ------------------------------------------------------------------ #
     def _run(self, packed_inputs: np.ndarray) -> np.ndarray:
@@ -221,11 +298,25 @@ class FusedEvaluator(BitParallelEvaluator):
                 f"got {packed_inputs.shape}"
             )
         n_words = packed_inputs.shape[1]
-        state = np.zeros((program.n_slots, n_words), dtype=np.uint64)
-        state[SLOT_ONE] = _ALL_ONES
+        scratch = self._scratch.get(n_words)
+        if scratch is None:
+            if len(self._scratch) >= self._MAX_SCRATCH_WIDTHS:
+                self._scratch.clear()
+            state = np.zeros((program.n_slots, n_words), dtype=np.uint64)
+            state[SLOT_ONE] = _ALL_ONES
+            bufs: List[Optional[np.ndarray]] = [
+                None
+                if gather is None
+                else np.empty((gather.size, n_words), dtype=np.uint64)
+                for _, gather, *_ in self._groups
+            ]
+            self._scratch[n_words] = scratch = (state, bufs)
+        state, bufs = scratch
         if program.n_inputs:
             state[2 : 2 + program.n_inputs] = packed_inputs
-        for opcode, gather, size, lo, a, b, c in self._groups:
+        for group_index, (opcode, gather, size, lo, a, b, c) in enumerate(
+            self._groups
+        ):
             if size == 1:
                 if opcode == OP_AND2:
                     state[lo] = state[a] & state[b]
@@ -253,9 +344,11 @@ class FusedEvaluator(BitParallelEvaluator):
                 else:  # pragma: no cover - compiler emits only known opcodes
                     raise RuntimeError(f"unknown opcode {opcode}")
                 continue
-            # Multi-op group: one gather (a fancy-index copy, so out= below
-            # can never alias it), one vectorized op, one contiguous store.
-            buf = state[gather]
+            # Multi-op group: one gather into the group's preallocated
+            # scratch buffer (a copy, so out= below can never alias it),
+            # one vectorized op, one contiguous store.
+            buf = bufs[group_index]
+            np.take(state, gather, axis=0, out=buf)
             dst = state[lo : lo + size]
             if opcode == OP_AND2:
                 np.bitwise_and(buf[:size], buf[size:], out=dst)
@@ -344,22 +437,39 @@ _TEMPLATE_REFS = {
 _MAX_INLINE_DEPTH = 12
 
 
-def generate_kernel_source(
-    program: CompiledProgram, slots: Sequence[int]
-) -> str:
-    """Emit Python source computing the packed values of ``slots``.
+@dataclass(frozen=True)
+class KernelPlan:
+    """A planned straight-line kernel, ready for a language-specific emitter.
 
-    The generated function has signature ``_kernel(inp, ZERO, ONE)`` where
-    ``inp`` indexes the packed input rows in ``program.input_slots`` order,
-    and returns a tuple with one entry per requested slot.  Ops feeding a
-    single consumer are inlined into their use site (so dead scratch slots
-    vanish entirely); multi-use ops become local variables.  The source is
-    domain-neutral: run it on numpy rows or on whole-row bigints.
+    The expression texts use only names (``i<slot>`` input loads, ``v<slot>``
+    locals, ``ZERO``/``ONE`` constants), parentheses and the operators
+    ``& | ^`` — whose precedence ordering is identical in Python and C — so
+    one plan serves both the Python emitter (:func:`generate_kernel_source`)
+    and the C emitter (:func:`repro.perf.native.generate_c_kernel_source`).
+    """
+
+    #: ``(slot, input_row)`` pairs to load, in ``program.input_slots`` order
+    #: (dead inputs already dropped).
+    input_loads: Tuple[Tuple[int, int], ...]
+    #: ``(dst_slot, expression_text)`` local-variable assignments, in
+    #: execution order.
+    statements: Tuple[Tuple[int, str], ...]
+    #: One expression text per requested slot, in request order.
+    returns: Tuple[str, ...]
+
+
+def plan_kernel(program: CompiledProgram, slots: Sequence[int]) -> KernelPlan:
+    """Liveness/inlining analysis shared by the Python and C code emitters.
+
+    Backward liveness from the requested ``slots`` drops dead ops before any
+    text is produced; ops feeding a single consumer are inlined into their
+    use site (bounded by :data:`_MAX_INLINE_DEPTH` so parsers survive long
+    ripple chains); multi-use ops become ``v<slot>`` locals.
 
     Example::
 
-        src = generate_kernel_source(program, program.output_slots)
-        print(src)          # inspect what the codegen engine executes
+        plan = plan_kernel(program, program.output_slots)
+        len(plan.returns) == len(program.output_slots)
     """
     slots = [int(s) for s in slots]
     ops = [
@@ -400,16 +510,17 @@ def generate_kernel_source(
         SLOT_ZERO: ("ZERO", 0, True),
         SLOT_ONE: ("ONE", 0, True),
     }
-    lines: List[str] = []
+    input_loads: List[Tuple[int, int]] = []
     for row, s in enumerate(program.input_slots.tolist()):
         expr[s] = (f"i{s}", 0, True)
         if use_count.get(s, 0):
-            lines.append(f"    i{s} = inp[{row}]")
+            input_loads.append((s, row))
 
     def ref(s: int) -> Tuple[str, int]:
         text, depth, atomic = expr[s]
         return (text if atomic else f"({text})"), depth
 
+    statements: List[Tuple[int, str]] = []
     for opcode, a, b, c, dst in ops:
         if opcode == OP_BUF:
             expr[dst] = expr[a]
@@ -427,13 +538,41 @@ def generate_kernel_source(
             text = _TEMPLATES[opcode].format(a=ea, b=eb, c=ec)
             depth = max(da, db, dc) + 1
         if use_count.get(dst, 0) > 1 or depth > _MAX_INLINE_DEPTH:
-            lines.append(f"    v{dst} = {text}")
+            statements.append((dst, text))
             expr[dst] = (f"v{dst}", 0, True)
         else:
             expr[dst] = (text, depth, False)
 
-    returns = ", ".join(ref(s)[0] for s in slots)
+    return KernelPlan(
+        input_loads=tuple(input_loads),
+        statements=tuple(statements),
+        returns=tuple(ref(s)[0] for s in slots),
+    )
+
+
+def generate_kernel_source(
+    program: CompiledProgram, slots: Sequence[int]
+) -> str:
+    """Emit Python source computing the packed values of ``slots``.
+
+    The generated function has signature ``_kernel(inp, ZERO, ONE)`` where
+    ``inp`` indexes the packed input rows in ``program.input_slots`` order,
+    and returns a tuple with one entry per requested slot.  Ops feeding a
+    single consumer are inlined into their use site (so dead scratch slots
+    vanish entirely); multi-use ops become local variables.  The source is
+    domain-neutral: run it on numpy rows or on whole-row bigints.  The
+    planning pass is shared with the C emitter (:func:`plan_kernel`).
+
+    Example::
+
+        src = generate_kernel_source(program, program.output_slots)
+        print(src)          # inspect what the codegen engine executes
+    """
+    plan = plan_kernel(program, slots)
+    lines = [f"    i{s} = inp[{row}]" for s, row in plan.input_loads]
+    lines += [f"    v{dst} = {text}" for dst, text in plan.statements]
     body = "\n".join(lines)
+    returns = ", ".join(plan.returns)
     return (
         "def _kernel(inp, ZERO, ONE):\n"
         + (body + "\n" if body else "")
@@ -553,6 +692,10 @@ def make_evaluator(
         evaluator = BitParallelEvaluator(program)
     elif resolved == "fused":
         evaluator = FusedEvaluator(program)
+    elif resolved == "native":
+        from repro.perf.native import NativeEvaluator
+
+        evaluator = NativeEvaluator(program)
     else:
         evaluator = CodegenEvaluator(program)
     evaluator.engine = resolved

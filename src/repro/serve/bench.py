@@ -44,7 +44,11 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.benchcompare import compare_benchmarks
+from repro.core.benchcompare import (
+    BenchmarkBaselineError,
+    compare_benchmarks,
+    load_baseline,
+)
 from repro.core.design_flow import fast_config
 from repro.core.flow_executor import run_flow_cached
 from repro.core.paths import bench_output_path
@@ -461,7 +465,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--compare",
         action="store_true",
         help="diff a fresh run against a baseline JSON instead of writing; "
-        "prints per-section regressions, always exits 0 (trend signal only)",
+        "prints per-section regressions, exits 0 when the baseline is usable "
+        "(trend signal only) and 2 when it is missing or malformed",
     )
     parser.add_argument(
         "--baseline",
@@ -471,6 +476,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: the committed BENCH_serving.json)",
     )
     args = parser.parse_args(argv)
+    baseline = None
+    if args.compare:
+        # Validate before the (expensive) fresh run: a missing or malformed
+        # baseline is a usage error, reported in one line, exit code 2.
+        try:
+            baseline = load_baseline(args.baseline)
+        except BenchmarkBaselineError as error:
+            import sys
+
+            print(f"bench_serving --compare: {error}", file=sys.stderr)
+            return 2
     results = run_serving_benchmark(
         dataset=args.dataset,
         kind=args.kind,
@@ -485,7 +501,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             lanes_per_worker=args.lanes_per_worker,
         )
     if args.compare:
-        baseline = json.loads(Path(args.baseline).read_text())
         compare_benchmarks(results, baseline)
         return 0
     path = write_benchmark(results, args.output)

@@ -94,6 +94,8 @@ class ServedModel:
             batch_fn = model.predict_ids
             backend = "quantized_model.predict_ids"
         report = result.report
+        from repro.perf.engines import available_engines
+
         info: Dict[str, object] = {
             "accuracy_percent": float(report.accuracy_percent),
             "area_cm2": float(report.area_cm2),
@@ -102,6 +104,10 @@ class ServedModel:
             "cycles_per_classification": int(report.cycles_per_classification),
             "weight_bits_used": int(result.weight_bits_used),
             "input_bits": int(model.input_format.total_bits),
+            # The simulation engines usable on this host (native appears only
+            # where a C toolchain exists) — surfaced through /models so
+            # clients can see what a worker would run gate-level sweeps with.
+            "simulation_engines": list(available_engines()),
         }
         return cls(
             name=name or f"{result.dataset}/{result.kind}",

@@ -1,8 +1,11 @@
-"""The fused and codegen execution engines: bit-exactness, caching, codegen.
+"""The fused/codegen/native execution engines: bit-exactness, caching, codegen.
 
 Every engine must produce exactly the same bits as the interp engine on
 every netlist in the zoo — combinational and sequential, raw and optimized —
 because the engines only change the execution *schedule*, never the program.
+``native`` rides the same matrices: on hosts without a C toolchain it
+resolves to ``codegen``, so the assertions still hold (the native-specific
+behaviours live in ``tests/perf/test_native.py``).
 """
 
 from __future__ import annotations
@@ -67,7 +70,7 @@ def _sequential_zoo():
 
 
 class TestCombinationalBitExactness:
-    @pytest.mark.parametrize("engine", ["fused", "codegen", "auto"])
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "native", "auto"])
     @pytest.mark.parametrize("opt_level", [0, 1, 2])
     def test_zoo_matches_interp(self, engine, opt_level):
         rng = np.random.default_rng(0)
@@ -82,7 +85,7 @@ class TestCombinationalBitExactness:
             )
             assert np.array_equal(out, reference), (name, engine, opt_level)
 
-    @pytest.mark.parametrize("engine", ["fused", "codegen"])
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "native"])
     def test_full_slot_state_matches_interp(self, engine):
         """evaluate_packed keeps the interp contract: every slot, in order."""
         rng = np.random.default_rng(1)
@@ -93,7 +96,7 @@ class TestCombinationalBitExactness:
         state = evaluator_for(netlist, engine=engine).evaluate_packed(packed)
         assert np.array_equal(state, reference)
 
-    @pytest.mark.parametrize("engine", ["fused", "codegen"])
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "native"])
     def test_evaluate_nets_matches_interp(self, engine):
         rng = np.random.default_rng(2)
         netlist = build_ripple_adder_netlist(5)
@@ -104,7 +107,7 @@ class TestCombinationalBitExactness:
         for net in reference:
             assert np.array_equal(nets[net], reference[net]), net
 
-    @pytest.mark.parametrize("engine", ["fused", "codegen"])
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "native"])
     def test_duplicate_and_input_slots_allowed(self, engine):
         """Requested slots may repeat and may name inputs or constants —
         the shapes a sequential cone produces (shift registers tap Q nets)."""
@@ -142,7 +145,7 @@ class TestCombinationalBitExactness:
 
 
 class TestSequentialBitExactness:
-    @pytest.mark.parametrize("engine", ["fused", "codegen", "auto"])
+    @pytest.mark.parametrize("engine", ["fused", "codegen", "native", "auto"])
     @pytest.mark.parametrize("opt_level", [0, 2])
     def test_zoo_matches_interp(self, engine, opt_level):
         rng = np.random.default_rng(5)
@@ -184,7 +187,7 @@ class TestEngineSelection:
         assert make_evaluator(program, "auto").engine == "codegen"
 
     def test_engines_tuple_is_the_cli_contract(self):
-        assert ENGINES == ("interp", "fused", "codegen", "auto")
+        assert ENGINES == ("interp", "fused", "codegen", "native", "auto")
 
 
 class TestCaching:

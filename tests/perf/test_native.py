@@ -1,0 +1,429 @@
+"""The native (compiled C) engine: toolchain probing, caching, fallback.
+
+Bit-exactness across the zoo rides the shared matrices in
+``tests/perf/test_engines.py``; this module covers what is *specific* to
+``engine='native'``: the C source emitter, the no-compiler degradation to
+``codegen`` (one-time warning, shared cache entry, ``auto`` never picks
+native), the two-level kernel cache (memory + disk under the
+``$REPRO_CACHE_DIR`` root, hit on second construction, invalidated by
+structural mutation), the GIL-free word sharding, and the ``REPRO_*``
+environment knobs.  Everything that needs a real compiler is skipped — not
+failed — on hosts without one, so the whole file passes either way.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+import repro.perf.native as native
+from repro.hw.rtl.adders import build_ripple_adder_netlist
+from repro.hw.rtl.multipliers import build_array_multiplier_netlist
+from repro.perf.bitsim import evaluator_for, pack_vectors, simulate_netlist_batch
+from repro.perf.compile import compile_netlist
+from repro.perf.engines import (
+    ENGINES,
+    BIGINT_MAX_WORDS,
+    CodegenEvaluator,
+    _env_int,
+    available_engines,
+    make_evaluator,
+    resolve_engine,
+)
+from repro.perf.native import (
+    NativeEvaluator,
+    Toolchain,
+    find_toolchain,
+    generate_c_kernel_source,
+    native_available,
+)
+
+requires_toolchain = pytest.mark.skipif(
+    not native_available(), reason="no C toolchain on this host"
+)
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture()
+def fresh_caches(tmp_path, monkeypatch):
+    """Isolate the disk cache in tmp_path and start with a cold memory cache.
+
+    Also snapshots the cached toolchain probe so tests that re-probe under a
+    mutated environment cannot leak into later tests.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setattr(native, "_SO_CACHE", {})
+    monkeypatch.setattr(native, "_TOOLCHAIN", native._TOOLCHAIN)
+    monkeypatch.setattr(native, "_WARNED_MISSING", native._WARNED_MISSING)
+    return tmp_path
+
+
+def _no_toolchain(monkeypatch):
+    monkeypatch.setattr(native, "find_toolchain", lambda refresh=False: None)
+    monkeypatch.setattr(native, "_WARNED_MISSING", False)
+
+
+# --------------------------------------------------------------------------- #
+# C source emission (no compiler needed)
+# --------------------------------------------------------------------------- #
+class TestCSource:
+    def test_c_source_shape_and_liveness(self):
+        netlist = build_array_multiplier_netlist(3, 3)
+        program = compile_netlist(netlist)
+        full = generate_c_kernel_source(program, program.output_slots)
+        # p[0]'s cone is a single AND: almost everything is dead for it.
+        low = generate_c_kernel_source(program, [int(program.output_slots[0])])
+        for source in (full, low):
+            assert "#include <stdint.h>" in source
+            assert "void repro_kernel(const uint64_t *in, uint64_t *out," in source
+            assert "for (int64_t w = w_lo; w < w_hi; ++w)" in source
+        assert len(low.splitlines()) < len(full.splitlines())
+
+    def test_c_source_mirrors_python_plan(self):
+        """Both emitters consume one plan: same locals, same input loads."""
+        from repro.perf.engines import generate_kernel_source, plan_kernel
+
+        program = compile_netlist(build_ripple_adder_netlist(5))
+        slots = [int(s) for s in program.output_slots]
+        plan = plan_kernel(program, slots)
+        py = generate_kernel_source(program, slots)
+        c = generate_c_kernel_source(program, slots)
+        for dst, _ in plan.statements:
+            assert f"v{dst} = " in py
+            assert f"const uint64_t v{dst} = " in c
+        for s, row in plan.input_loads:
+            assert f"i{s} = inp[{row}]" in py
+            assert f"const uint64_t i{s} = in[(int64_t){row} * n_words + w]" in c
+        assert c.count("out[") == len(slots)
+
+    def test_constant_and_input_slots_in_returns(self):
+        """Requested slots may be constants or inputs — the shapes the
+        sequential cone requests (shift registers tap Q nets directly)."""
+        program = compile_netlist(build_ripple_adder_netlist(2))
+        slots = [0, 1, int(program.input_slots[0])]
+        source = generate_c_kernel_source(program, slots)
+        assert "out[(int64_t)0 * n_words + w] = ZERO;" in source
+        assert "out[(int64_t)1 * n_words + w] = ONE;" in source
+
+
+# --------------------------------------------------------------------------- #
+# Toolchain probing and the no-compiler fallback
+# --------------------------------------------------------------------------- #
+class TestFallback:
+    def test_no_native_env_disables_probe(self, fresh_caches, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        assert find_toolchain(refresh=True) is None
+        monkeypatch.delenv("REPRO_NO_NATIVE")
+        find_toolchain(refresh=True)  # re-probe so the snapshot restore is moot
+
+    def test_native_resolves_to_codegen_without_toolchain(self, monkeypatch):
+        _no_toolchain(monkeypatch)
+        program = compile_netlist(build_ripple_adder_netlist(3))
+        with pytest.warns(RuntimeWarning, match="degrades to 'codegen'"):
+            assert resolve_engine("native", program) == "codegen"
+
+    def test_fallback_warns_exactly_once(self, monkeypatch, recwarn):
+        _no_toolchain(monkeypatch)
+        program = compile_netlist(build_ripple_adder_netlist(3))
+        resolve_engine("native", program)
+        resolve_engine("native", program)
+        messages = [w for w in recwarn.list if w.category is RuntimeWarning]
+        assert len(messages) == 1
+
+    def test_fallback_evaluator_shares_codegen_cache_entry(self, monkeypatch):
+        _no_toolchain(monkeypatch)
+        netlist = build_ripple_adder_netlist(4)
+        with pytest.warns(RuntimeWarning):
+            via_native = evaluator_for(netlist, engine="native")
+        assert isinstance(via_native, CodegenEvaluator)
+        assert via_native.engine == "codegen"
+        assert evaluator_for(netlist, engine="codegen") is via_native
+
+    def test_fallback_stays_bit_exact(self, monkeypatch):
+        _no_toolchain(monkeypatch)
+        netlist = build_ripple_adder_netlist(5)
+        rng = np.random.default_rng(0)
+        vectors = rng.integers(0, 2, size=(70, len(netlist.inputs)))
+        with pytest.warns(RuntimeWarning):
+            out = simulate_netlist_batch(netlist, vectors, engine="native")
+        reference = simulate_netlist_batch(netlist, vectors, engine="interp")
+        assert np.array_equal(out, reference)
+
+    def test_auto_never_selects_native(self):
+        program = compile_netlist(build_ripple_adder_netlist(4))
+        assert resolve_engine("auto", program) in ("codegen", "fused")
+
+    def test_available_engines_drops_native_without_toolchain(self, monkeypatch):
+        _no_toolchain(monkeypatch)
+        assert available_engines() == tuple(e for e in ENGINES if e != "native")
+
+    def test_available_engines_is_full_tuple_with_toolchain(self, monkeypatch):
+        monkeypatch.setattr(
+            native, "find_toolchain", lambda refresh=False: Toolchain("/bin/cc", "x")
+        )
+        assert available_engines() == ENGINES
+
+    def test_direct_construction_without_toolchain_raises(self, monkeypatch):
+        _no_toolchain(monkeypatch)
+        program = compile_netlist(build_ripple_adder_netlist(2))
+        with pytest.raises(RuntimeError, match="no C toolchain"):
+            NativeEvaluator(program)
+
+
+# --------------------------------------------------------------------------- #
+# Compilation + two-level cache (real compiler required)
+# --------------------------------------------------------------------------- #
+@requires_toolchain
+class TestKernelCache:
+    def test_disk_cache_hit_on_second_construction(self, fresh_caches, monkeypatch):
+        invocations = []
+        real = native._invoke_compiler
+
+        def spy(toolchain, c_path, so_path):
+            invocations.append(str(so_path))
+            return real(toolchain, c_path, so_path)
+
+        monkeypatch.setattr(native, "_invoke_compiler", spy)
+        rng = np.random.default_rng(1)
+        netlist = build_ripple_adder_netlist(4)
+        vectors = rng.integers(0, 2, size=(90, len(netlist.inputs)))
+        first = evaluator_for(netlist, engine="native")
+        out_first = first.evaluate(vectors)
+        assert len(invocations) == 1
+        assert list(native.kernel_cache_dir().glob("*.so"))
+        # Same structure, new netlist object, cold memory cache: the kernel
+        # must come off disk without invoking the compiler again.
+        monkeypatch.setattr(native, "_SO_CACHE", {})
+        second = evaluator_for(build_ripple_adder_netlist(4), engine="native")
+        out_second = second.evaluate(vectors)
+        assert len(invocations) == 1
+        assert np.array_equal(out_first, out_second)
+
+    def test_memory_cache_shares_kernels_across_evaluators(
+        self, fresh_caches, monkeypatch
+    ):
+        invocations = []
+        real = native._invoke_compiler
+        monkeypatch.setattr(
+            native,
+            "_invoke_compiler",
+            lambda *a: (invocations.append(a), real(*a))[1],
+        )
+        netlist_a = build_ripple_adder_netlist(4)
+        netlist_b = build_ripple_adder_netlist(4)
+        rng = np.random.default_rng(2)
+        vectors = rng.integers(0, 2, size=(70, len(netlist_a.inputs)))
+        evaluator_for(netlist_a, engine="native").evaluate(vectors)
+        evaluator_for(netlist_b, engine="native").evaluate(vectors)
+        # Identical structure -> identical source -> one compile, even with
+        # two distinct evaluator instances.
+        assert len(invocations) == 1
+
+    def test_structural_mutation_invalidates_kernel(self, fresh_caches):
+        rng = np.random.default_rng(3)
+        netlist = build_ripple_adder_netlist(3)
+        vectors = rng.integers(0, 2, size=(50, len(netlist.inputs)))
+        stale = evaluator_for(netlist, engine="native")
+        stale.evaluate(vectors)
+        n_so_before = len(list(native.kernel_cache_dir().glob("*.so")))
+        (inv,) = netlist.add_gate("INV", [netlist.outputs[0]], outputs=["obs"])
+        netlist.mark_output(inv)
+        fresh = evaluator_for(netlist, engine="native")
+        assert fresh is not stale
+        reference = evaluator_for(netlist, engine="interp").evaluate(vectors)
+        assert np.array_equal(fresh.evaluate(vectors), reference)
+        # The mutated structure emits different source, hence a new disk key.
+        assert len(list(native.kernel_cache_dir().glob("*.so"))) > n_so_before
+
+    def test_compiler_failure_raises_with_stderr(self, fresh_caches):
+        toolchain = find_toolchain()
+        with pytest.raises(RuntimeError, match="native kernel compilation failed"):
+            native.load_kernel("this is not C;", toolchain)
+
+    def test_kernel_source_inspectable_via_evaluator(self, fresh_caches):
+        netlist = build_ripple_adder_netlist(2)
+        evaluator = evaluator_for(netlist, engine="native")
+        source = evaluator.kernel_source(evaluator.program.output_slots)
+        assert "repro_kernel" in source
+
+
+# --------------------------------------------------------------------------- #
+# Word-axis thread sharding (real compiler required)
+# --------------------------------------------------------------------------- #
+@requires_toolchain
+class TestThreadSharding:
+    def test_forced_shard_counts_stay_bit_exact(self, fresh_caches):
+        netlist = build_array_multiplier_netlist(4, 4)
+        rng = np.random.default_rng(4)
+        vectors = rng.integers(0, 2, size=(1300, len(netlist.inputs)))
+        packed, _ = pack_vectors(vectors)
+        evaluator = evaluator_for(netlist, engine="native")
+        slots = evaluator.program.output_slots
+        reference = evaluator_for(netlist, engine="interp").evaluate_packed_slots(
+            packed, slots
+        )
+        try:
+            for threads in (1, 2, 3, 4, 7):
+                evaluator.threads = threads
+                out = evaluator.evaluate_packed_slots(packed, slots)
+                assert np.array_equal(out, reference), threads
+        finally:
+            evaluator.threads = None
+
+    def test_auto_sharding_threshold(self, fresh_caches, monkeypatch):
+        """Below the word threshold the automatic path must stay on the
+        calling thread; above it, shard — both bit-exact."""
+        netlist = build_ripple_adder_netlist(4)
+        rng = np.random.default_rng(5)
+        vectors = rng.integers(0, 2, size=(400, len(netlist.inputs)))
+        packed, _ = pack_vectors(vectors)  # 7 words
+        evaluator = evaluator_for(netlist, engine="native")
+        slots = evaluator.program.output_slots
+        reference = evaluator_for(netlist, engine="interp").evaluate_packed_slots(
+            packed, slots
+        )
+        monkeypatch.setattr(native, "NATIVE_PARALLEL_MIN_WORDS", 4)
+        monkeypatch.setattr(native, "NATIVE_THREADS", 3)
+        assert np.array_equal(evaluator.evaluate_packed_slots(packed, slots), reference)
+        monkeypatch.setattr(native, "NATIVE_PARALLEL_MIN_WORDS", 10_000)
+        assert np.array_equal(evaluator.evaluate_packed_slots(packed, slots), reference)
+
+    def test_more_shards_than_words_is_clamped(self, fresh_caches):
+        netlist = build_ripple_adder_netlist(3)
+        rng = np.random.default_rng(6)
+        vectors = rng.integers(0, 2, size=(65, len(netlist.inputs)))  # 2 words
+        packed, _ = pack_vectors(vectors)
+        evaluator = evaluator_for(netlist, engine="native")
+        slots = evaluator.program.output_slots
+        evaluator.threads = 16
+        try:
+            out = evaluator.evaluate_packed_slots(packed, slots)
+        finally:
+            evaluator.threads = None
+        reference = evaluator_for(netlist, engine="interp").evaluate_packed_slots(
+            packed, slots
+        )
+        assert np.array_equal(out, reference)
+
+    def test_empty_batch(self, fresh_caches):
+        netlist = build_ripple_adder_netlist(3)
+        evaluator = evaluator_for(netlist, engine="native")
+        slots = evaluator.program.output_slots
+        packed = np.zeros((evaluator.program.n_inputs, 0), dtype=np.uint64)
+        out = evaluator.evaluate_packed_slots(packed, slots)
+        assert out.shape == (len(slots), 0)
+
+
+# --------------------------------------------------------------------------- #
+# Batch sizes across the bigint/numpy domain boundary (vs codegen + interp)
+# --------------------------------------------------------------------------- #
+@requires_toolchain
+class TestDomainBoundary:
+    def test_large_batch_matches_codegen_numpy_domain(self, fresh_caches):
+        """Past BIGINT_MAX_WORDS codegen switches to its numpy domain; the
+        native kernel must agree with both domains and with interp."""
+        netlist = build_ripple_adder_netlist(4)
+        n_vectors = (BIGINT_MAX_WORDS + 1) * 64  # one word past the boundary
+        rng = np.random.default_rng(7)
+        vectors = rng.integers(0, 2, size=(n_vectors, len(netlist.inputs)))
+        packed, _ = pack_vectors(vectors)
+        assert packed.shape[1] > BIGINT_MAX_WORDS
+        slots = evaluator_for(netlist, engine="interp").program.output_slots
+        outs = {
+            e: evaluator_for(netlist, engine=e).evaluate_packed_slots(packed, slots)
+            for e in ("interp", "codegen", "native")
+        }
+        assert np.array_equal(outs["native"], outs["interp"])
+        assert np.array_equal(outs["native"], outs["codegen"])
+
+
+# --------------------------------------------------------------------------- #
+# Environment knobs
+# --------------------------------------------------------------------------- #
+class TestEnvKnobs:
+    def test_env_int_accepts_valid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "42")
+        assert _env_int("REPRO_TEST_KNOB", 7, minimum=1) == 42
+        monkeypatch.setenv("REPRO_TEST_KNOB", "  ")
+        assert _env_int("REPRO_TEST_KNOB", 7, minimum=1) == 7
+        monkeypatch.delenv("REPRO_TEST_KNOB")
+        assert _env_int("REPRO_TEST_KNOB", 7, minimum=1) == 7
+
+    def test_env_int_rejects_garbage_and_below_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "fast")
+        with pytest.raises(ValueError, match="REPRO_TEST_KNOB"):
+            _env_int("REPRO_TEST_KNOB", 7, minimum=1)
+        monkeypatch.setenv("REPRO_TEST_KNOB", "0")
+        with pytest.raises(ValueError, match="below 1"):
+            _env_int("REPRO_TEST_KNOB", 7, minimum=1)
+
+    def test_engine_knobs_read_from_environment(self):
+        """Fresh interpreter: the module constants honor $REPRO_* overrides.
+
+        A subprocess keeps this hermetic — reloading repro.perf.engines in
+        this process would strand other modules on stale class objects.
+        """
+        code = (
+            "import repro.perf.engines as e, repro.perf.native as n; "
+            "print(e.AUTO_CODEGEN_MAX_OPS, e.BIGINT_MAX_WORDS, "
+            "n.NATIVE_THREADS, n.NATIVE_PARALLEL_MIN_WORDS)"
+        )
+        env = {
+            **os.environ,
+            "PYTHONPATH": SRC_DIR,
+            "REPRO_AUTO_CODEGEN_MAX_OPS": "123",
+            "REPRO_BIGINT_MAX_WORDS": "7",
+            "REPRO_NATIVE_THREADS": "2",
+            "REPRO_NATIVE_MIN_WORDS": "999",
+        }
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.split() == ["123", "7", "2", "999"]
+
+    def test_invalid_engine_knob_fails_loudly(self):
+        code = "import repro.perf.engines"
+        env = {
+            **os.environ,
+            "PYTHONPATH": SRC_DIR,
+            "REPRO_AUTO_CODEGEN_MAX_OPS": "many",
+        }
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert proc.returncode != 0
+        assert "REPRO_AUTO_CODEGEN_MAX_OPS" in proc.stderr
+
+
+# --------------------------------------------------------------------------- #
+# Engine selection plumbing
+# --------------------------------------------------------------------------- #
+@requires_toolchain
+class TestSelection:
+    def test_make_evaluator_constructs_native(self, fresh_caches):
+        program = compile_netlist(build_ripple_adder_netlist(3))
+        evaluator = make_evaluator(program, "native")
+        assert isinstance(evaluator, NativeEvaluator)
+        assert evaluator.engine == "native"
+
+    def test_native_evaluator_cached_separately_from_codegen(self, fresh_caches):
+        netlist = build_ripple_adder_netlist(4)
+        native_ev = evaluator_for(netlist, engine="native")
+        codegen_ev = evaluator_for(netlist, engine="codegen")
+        assert native_ev is not codegen_ev
+        assert evaluator_for(netlist, engine="native") is native_ev
+
+    def test_toolchain_fingerprint_is_stable_and_version_sensitive(self):
+        a = Toolchain("/usr/bin/cc", "cc 12.2.0")
+        b = Toolchain("/usr/bin/cc", "cc 12.2.0")
+        c = Toolchain("/usr/bin/cc", "cc 13.1.0")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
