@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Three commands, run from a checkout with ``PYTHONPATH=src`` (no
+Four commands, run from a checkout with ``PYTHONPATH=src`` (no
 installation required; see ``docs/cli.md`` for the full flag reference):
 
 * ``repro-table1`` — regenerate the paper's Table I (optionally a subset of
@@ -10,12 +10,18 @@ installation required; see ``docs/cli.md`` for the full flag reference):
 * ``repro-serve`` (also ``python -m repro.serve``) — load trained designs
   through the persistent flow cache and answer predict requests over an HTTP
   JSON endpoint with micro-batched inference (see ``docs/serving.md``).
+* ``repro-jobs`` — the resumable flow-job service: submit a (dataset x
+  model) grid into a durable manifest, drain it through pooled workers,
+  inspect status, resume after a crash, and query the result store (see
+  ``docs/jobs.md``).  Exit codes follow the shared contract: 0 ok, 1 the
+  run had failed jobs, 2 bad input (one clear line on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.design_flow import FlowConfig, MODEL_KINDS, fast_config
@@ -33,7 +39,8 @@ from repro.eval.table1 import (
 )
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting the flow configuration (shared by every command)."""
     parser.add_argument(
         "--fast",
         action="store_true",
@@ -45,6 +52,10 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="override the number of samples generated per dataset",
     )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting the persistent flow-result cache."""
     parser.add_argument(
         "--cache-dir",
         type=str,
@@ -57,6 +68,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the persistent flow-result cache (always retrain)",
     )
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_flow_arguments(parser)
+    _add_cache_arguments(parser)
     parser.add_argument(
         "--opt-level",
         type=int,
@@ -381,6 +397,277 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         httpd.server_close()
         server.shutdown(drain=True)
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-jobs
+# --------------------------------------------------------------------------- #
+def _add_jobs_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dir",
+        type=str,
+        default="jobs-run",
+        help="run directory holding the job manifest (manifest.jsonl) and "
+        "the result store (results.jsonl)",
+    )
+
+
+def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="flow-worker pool size (one forked worker process per slot)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=600.0,
+        help="per-job deadline in seconds; a job exceeding it is treated "
+        "like a worker crash (the worker is killed and the job retried)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="crash/timeout retries per job beyond the first attempt "
+        "(worker-reported failures are permanent and never retried)",
+    )
+
+
+def _jobs_paths(args: argparse.Namespace):
+    run_dir = Path(args.dir)
+    return run_dir / "manifest.jsonl", run_dir / "results.jsonl"
+
+
+def _jobs_progress(event: str, record) -> None:
+    spec = record.spec
+    print(f"[{event}] {spec.dataset}/{spec.kind} ({spec.job_id})")
+
+
+def _jobs_drain(args: argparse.Namespace, tool: str) -> int:
+    """Open the durable pair and drain the pending set; shared exit codes."""
+    from repro.core.benchcompare import bad_input_exit
+    from repro.jobs import ManifestError, StoreError, run_jobs
+
+    manifest_path, store_path = _jobs_paths(args)
+    if not manifest_path.is_file():
+        return bad_input_exit(
+            tool, FileNotFoundError(f"no job manifest at {manifest_path}")
+        )
+    try:
+        summary = run_jobs(
+            manifest_path,
+            store_path,
+            cache=_build_cache(args),
+            workers=args.workers,
+            job_timeout_s=args.job_timeout,
+            max_retries=args.max_retries,
+            progress=_jobs_progress,
+        )
+    except (ManifestError, StoreError) as error:
+        return bad_input_exit(tool, error)
+    counts = summary.manifest_counts
+    print(
+        f"drained: {summary.completed} done this run "
+        f"({summary.cache_hits} from cache, {summary.trained} trained), "
+        f"{summary.retries} retries, {summary.workers_replaced} workers "
+        f"replaced; manifest now {counts.get('done', 0)} done / "
+        f"{counts.get('failed', 0)} failed"
+    )
+    return 1 if summary.failed else 0
+
+
+def _jobs_submit(args: argparse.Namespace) -> int:
+    from repro.core.benchcompare import bad_input_exit
+    from repro.jobs import JobManifest, ManifestError, submit_grid
+
+    manifest_path, _ = _jobs_paths(args)
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    datasets = args.datasets or available_datasets()
+    try:
+        with JobManifest(manifest_path) as manifest:
+            ids = submit_grid(manifest, datasets, args.kinds, _build_config(args))
+    except ManifestError as error:
+        return bad_input_exit("repro-jobs submit", error)
+    print(
+        f"submitted {len(ids)} job(s) "
+        f"({len(datasets)} dataset(s) x {len(args.kinds)} kind(s)) "
+        f"into {manifest_path}"
+    )
+    if args.no_run:
+        return 0
+    return _jobs_drain(args, "repro-jobs submit")
+
+
+def _jobs_status(args: argparse.Namespace) -> int:
+    from repro.core.benchcompare import bad_input_exit
+    from repro.jobs import ManifestError, replay_journal
+
+    manifest_path, store_path = _jobs_paths(args)
+    if not manifest_path.is_file():
+        return bad_input_exit(
+            "repro-jobs status",
+            FileNotFoundError(f"no job manifest at {manifest_path}"),
+        )
+    try:
+        state = replay_journal(manifest_path.read_text())
+    except ManifestError as error:
+        return bad_input_exit("repro-jobs status", error)
+    counts = state.counts()
+    print(
+        f"{manifest_path}: {len(state.jobs)} job(s) — "
+        + ", ".join(f"{counts[s]} {s}" for s in counts)
+        + (" (torn final journal line discarded)" if state.discarded_torn_tail else "")
+    )
+    for record in state.jobs.values():
+        spec = record.spec
+        extra = ""
+        if record.source is not None:
+            extra = f" [{record.source}]"
+        elif record.error:
+            extra = f" [{record.error}]"
+        print(
+            f"  {record.state:8s} {spec.dataset}/{spec.kind} "
+            f"({spec.job_id}, attempts={record.attempts}){extra}"
+        )
+    if store_path.is_file():
+        print(f"result store: {store_path}")
+    return 0
+
+
+def _jobs_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core.benchcompare import bad_input_exit
+    from repro.jobs import ResultStore, StoreError
+
+    _, store_path = _jobs_paths(args)
+    if not store_path.is_file():
+        return bad_input_exit(
+            "repro-jobs query",
+            FileNotFoundError(f"no result store at {store_path}"),
+        )
+    try:
+        store = ResultStore(store_path)
+    except StoreError as error:
+        return bad_input_exit("repro-jobs query", error)
+    records = store.query(
+        dataset=args.dataset,
+        kind=args.kind,
+        min_accuracy_percent=args.min_accuracy,
+    )
+    if args.table:
+        from repro.eval.table1 import format_table1, table1_from_store
+
+        class _Filtered:
+            def records(self_inner):
+                return records
+
+        print(format_table1(table1_from_store(_Filtered())))
+    elif args.pareto:
+        from repro.eval.pareto import pareto_front, tradeoff_points_from_rows
+
+        points = tradeoff_points_from_rows([r["row"] for r in records])
+        front = {p.label for p in pareto_front(points)}
+        for point in points:
+            marker = "*" if point.label in front else " "
+            print(
+                f" {marker} {point.label:28s} acc {point.maximise_value:6.2f}% "
+                f"energy {point.minimise_value:8.3f} mJ"
+            )
+    else:
+        for record in records:
+            print(_json.dumps(record, sort_keys=True))
+    return 0
+
+
+def main_jobs(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-jobs`` (``submit``/``status``/``resume``/``query``).
+
+    The CLI face of :mod:`repro.jobs`: grids are journaled into a durable
+    manifest, drained through pooled flow workers, and the results land in
+    a queryable store — all of it resumable after a crash with
+    ``repro-jobs resume``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-jobs",
+        description="Resumable distributed flow-job service: submit grids, "
+        "drain them through pooled workers, resume after crashes, query "
+        "results.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit", help="journal a (dataset x kind) grid and drain it"
+    )
+    _add_jobs_dir(submit)
+    submit.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        choices=available_datasets(),
+        help="datasets of the grid (default: all)",
+    )
+    submit.add_argument(
+        "--kinds",
+        nargs="+",
+        default=["ours"],
+        choices=list(MODEL_KINDS),
+        help="model kinds of the grid (default: ours)",
+    )
+    _add_flow_arguments(submit)
+    _add_cache_arguments(submit)
+    _add_scheduler_arguments(submit)
+    submit.add_argument(
+        "--no-run",
+        action="store_true",
+        help="journal the submissions only; drain later with 'resume'",
+    )
+
+    status = sub.add_parser("status", help="replay the manifest and print per-job state")
+    _add_jobs_dir(status)
+
+    resume = sub.add_parser(
+        "resume", help="drain the pending set left by a previous (crashed) run"
+    )
+    _add_jobs_dir(resume)
+    _add_cache_arguments(resume)
+    _add_scheduler_arguments(resume)
+
+    query = sub.add_parser("query", help="query the result store")
+    _add_jobs_dir(query)
+    query.add_argument(
+        "--dataset", type=str, default=None, help="filter results to one dataset"
+    )
+    query.add_argument(
+        "--kind", type=str, default=None, help="filter results to one model kind"
+    )
+    query.add_argument(
+        "--min-accuracy",
+        type=float,
+        default=None,
+        help="only results with at least this accuracy (percent)",
+    )
+    query.add_argument(
+        "--table",
+        action="store_true",
+        help="render the matching results in the Table I column layout",
+    )
+    query.add_argument(
+        "--pareto",
+        action="store_true",
+        help="print the accuracy/energy points, marking the Pareto front with *",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "submit":
+        return _jobs_submit(args)
+    if args.command == "status":
+        return _jobs_status(args)
+    if args.command == "resume":
+        return _jobs_drain(args, "repro-jobs resume")
+    return _jobs_query(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

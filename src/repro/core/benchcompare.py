@@ -65,6 +65,31 @@ class BenchmarkBaselineError(ValueError):
     """A ``--compare`` baseline is missing, unreadable or not a benchmark doc."""
 
 
+#: The shared CLI exit-code contract: 0 = ok, 2 = bad input.  Used by the
+#: bench ``--compare`` entry points and ``repro-jobs`` alike, so scripts can
+#: distinguish "the tool disagreed" from "I called it wrong".
+EXIT_OK = 0
+EXIT_BAD_INPUT = 2
+
+
+def bad_input_exit(tool: str, error: BaseException, stream=None) -> int:
+    """Report one bad-input error and return :data:`EXIT_BAD_INPUT`.
+
+    The single choke point for the 0-ok/2-bad-input exit-code contract:
+    exactly one line on stderr, formatted ``<tool>: <error>``, never a
+    traceback.  ``stream`` overrides stderr for tests.
+
+    Example::
+
+        except BenchmarkBaselineError as error:
+            return bad_input_exit("bench_serving --compare", error)
+    """
+    import sys
+
+    print(f"{tool}: {error}", file=stream if stream is not None else sys.stderr)
+    return EXIT_BAD_INPUT
+
+
 def load_baseline(path: Union[str, Path]) -> Dict:
     """Load and validate a ``--compare`` baseline document.
 

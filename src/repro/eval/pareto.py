@@ -64,6 +64,30 @@ def accuracy_area_points(
     ]
 
 
+def tradeoff_points_from_rows(
+    rows: Sequence[dict],
+    maximise: str = "accuracy_percent",
+    minimise: str = "energy_mj",
+) -> List[TradeoffPoint]:
+    """Trade-off points from Table-I-shaped row dicts.
+
+    The row shape is the one :meth:`ClassifierHardwareReport.as_row`
+    produces and the ``repro.jobs`` result store persists (``record["row"]``),
+    so a store query feeds straight into :func:`pareto_front`:
+
+        rows = [r["row"] for r in store.query(dataset="redwine")]
+        front = pareto_front(tradeoff_points_from_rows(rows))
+    """
+    return [
+        TradeoffPoint(
+            label=f"{row['dataset']}/{row['model']}",
+            maximise_value=float(row[maximise]),
+            minimise_value=float(row[minimise]),
+        )
+        for row in rows
+    ]
+
+
 def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
     """Non-dominated subset of the given points (stable order)."""
     front: List[TradeoffPoint] = []

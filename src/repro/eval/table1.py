@@ -225,6 +225,77 @@ def generate_table1(
     return table
 
 
+def report_from_store_record(record: Dict) -> ClassifierHardwareReport:
+    """Rebuild a Table-I-shaped report from one ``repro.jobs`` store record.
+
+    Store records carry the rounded Table I columns (``row``) plus the
+    cycle count — enough to rebuild the report the table formatters and the
+    Pareto helpers consume.  Breakdowns (static/dynamic power, cell counts)
+    are not persisted and come back as their defaults.
+
+    Example::
+
+        report = report_from_store_record(store.query(dataset="redwine")[0])
+        report.energy_mj
+    """
+    row = record["row"]
+    return ClassifierHardwareReport(
+        dataset=row["dataset"],
+        model=row["model"],
+        accuracy_percent=float(row["accuracy_percent"]),
+        area_cm2=float(row["area_cm2"]),
+        power_mw=float(row["power_mw"]),
+        frequency_hz=float(row["frequency_hz"]),
+        latency_ms=float(row["latency_ms"]),
+        energy_mj=float(row["energy_mj"]),
+        cycles_per_classification=int(record.get("cycles_per_classification", 1)),
+        notes=f"rebuilt from job store record {record.get('id', '?')}",
+    )
+
+
+def table1_from_store(
+    store,
+    datasets: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+    include_reference: bool = True,
+) -> Table1:
+    """Assemble a :class:`Table1` from a ``repro.jobs`` result store.
+
+    The read-side counterpart of :func:`generate_table1`: no flows run —
+    every entry is rebuilt from the store's persisted records (one grid run
+    by ``repro-jobs`` serves every later table/front/report query).  Rows
+    are rounded exactly as ``ClassifierHardwareReport.as_row`` rounds them,
+    so a store-built table formats identically to a freshly generated one.
+
+    Example::
+
+        store = ResultStore(run_dir / "results.jsonl")
+        print(format_table1(table1_from_store(store)))
+    """
+    table = Table1()
+    for record in store.records():
+        if datasets is not None and record.get("dataset") not in datasets:
+            continue
+        measured = report_from_store_record(record)
+        if models is not None and measured.model not in models:
+            continue
+        reference = None
+        if include_reference:
+            try:
+                reference = reference_row(measured.dataset, measured.model)
+            except (KeyError, ValueError):
+                reference = None
+        table.entries.append(
+            Table1Entry(
+                dataset=measured.dataset,
+                model=measured.model,
+                measured=measured,
+                reference=reference,
+            )
+        )
+    return table
+
+
 def format_table1(table: Table1, show_reference: bool = True) -> str:
     """Render the regenerated table in the paper's column layout."""
     header = (

@@ -1,0 +1,76 @@
+"""The resumable flow-job service: manifest journal, scheduler, store.
+
+The "beaker-shaped" layer on top of the flow executor (ROADMAP item 3):
+grids of (dataset, kind, config) flow jobs are journaled into an
+append-only manifest, dispatched to pooled forked workers over the serve
+frame transport, and landed in a queryable result store that Table I, the
+Pareto fronts and the served ``/models`` metadata read from.  Every piece
+is built to survive SIGKILL at any instant; ``tests/jobs/`` proves it with
+seeded fault injection.
+
+Example::
+
+    from repro.jobs import JobManifest, JobScheduler, ResultStore, submit_grid
+
+    manifest = JobManifest(run_dir / "manifest.jsonl")
+    submit_grid(manifest, ["redwine", "cardio"], ["ours"], fast_config())
+    store = ResultStore(run_dir / "results.jsonl")
+    JobScheduler(manifest, store, workers=2).run()
+    store.query(dataset="redwine")
+"""
+
+from repro.jobs.manifest import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    JobManifest,
+    JobRecord,
+    JobSpec,
+    ManifestError,
+    ManifestState,
+    job_content_key,
+    replay_journal,
+)
+from repro.jobs.scheduler import (
+    JobScheduler,
+    SchedulerSummary,
+    run_jobs,
+    submit_grid,
+)
+from repro.jobs.store import ResultStore, StoreError, result_record
+from repro.jobs.worker import (
+    SOURCE_CACHE,
+    SOURCE_TRAINED,
+    FlowWorker,
+    JobRejected,
+    flow_worker_main,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "PENDING",
+    "RUNNING",
+    "JobManifest",
+    "JobRecord",
+    "JobScheduler",
+    "JobSpec",
+    "ManifestError",
+    "ManifestState",
+    "ResultStore",
+    "SchedulerSummary",
+    "StoreError",
+    "SOURCE_CACHE",
+    "SOURCE_TRAINED",
+    "FlowWorker",
+    "JobRejected",
+    "flow_worker_main",
+    "job_content_key",
+    "replay_journal",
+    "result_record",
+    "run_jobs",
+    "submit_grid",
+]

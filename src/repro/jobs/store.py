@@ -1,0 +1,231 @@
+"""The queryable result store the job service lands flow results in.
+
+An append-only ``results.jsonl`` file — one canonical JSON object per
+completed job — plus an in-memory index for querying.  Two properties make
+it the system of record Table I, the Pareto fronts and the served
+``/models`` metadata can read from:
+
+* **Determinism.**  A record carries only content derived from the flow
+  result (the Table I row, the float accuracy, the precision used) and the
+  job's content key — no timestamps, no attempt counts, no provenance.
+  Training is seeded, so two runs of the same job produce byte-identical
+  records, and :meth:`ResultStore.compact` rewrites the file with records
+  de-duplicated and sorted by job id — after which an interrupted-and-
+  resumed grid is *bit-identical* on disk to an uninterrupted one (the
+  crash-resume test in ``tests/jobs/`` asserts exactly this).
+* **Crash tolerance.**  Like the manifest journal, appends are one flushed
+  line each; a torn final line is discarded on load, not fatal.
+
+Example::
+
+    store = ResultStore(tmp_path / "results.jsonl")
+    store.append(result_record("a1b2", flow_result))
+    store.query(dataset="redwine", kind="ours")[0]["row"]["energy_mj"]
+    store.compact()                      # canonical on-disk ordering
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.design_flow import FlowResult
+
+
+class StoreError(ValueError):
+    """The results file is corrupt beyond a crash-truncate (non-final line)."""
+
+
+def result_record(job_id: str, result: FlowResult) -> Dict:
+    """The canonical store record for one completed flow job.
+
+    Deliberately *content only* — everything here is a pure function of the
+    (seeded) flow result, so records are byte-stable across runs, resumes
+    and machines with the same code.
+
+    Example::
+
+        record = result_record(spec.job_id, run_flow("redwine", "ours", cfg))
+        record["row"]["accuracy_percent"]
+    """
+    return {
+        "id": job_id,
+        "dataset": result.dataset,
+        "kind": result.kind,
+        "row": result.report.as_row(),
+        "float_accuracy_percent": float(result.float_accuracy_percent),
+        "weight_bits_used": int(result.weight_bits_used),
+        "cycles_per_classification": int(result.report.cycles_per_classification),
+    }
+
+
+def _canonical_line(record: Dict) -> str:
+    """One record as its canonical JSON line (sorted keys, no whitespace)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only results file + in-memory index with ``query()``.
+
+    Thread-safe: scheduler worker threads append concurrently; duplicate
+    appends of the same job id (a resume replaying a crash window) collapse
+    on load and on compaction because records are content-keyed and
+    deterministic.
+
+    Example::
+
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.append(result_record(job_id, result))
+        len(store)                               # 1
+        store.query(kind="ours")                 # [record]
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._records: Dict[str, Dict] = {}
+        if self.path.is_file():
+            for record in self._load_lines(self.path.read_text()):
+                self._records.setdefault(record["id"], record)
+
+    @staticmethod
+    def _load_lines(text: str) -> List[Dict]:
+        lines = text.split("\n")
+        complete, tail = lines[:-1], lines[-1]
+        records: List[Dict] = []
+        for index, line in enumerate(complete):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise StoreError(
+                    f"results line {index + 1} is not valid JSON "
+                    f"(not the final line, so not a crash-truncate): {error}"
+                )
+            if not isinstance(doc, dict) or "id" not in doc:
+                raise StoreError(f"results line {index + 1} is not a record")
+            records.append(doc)
+        # A non-empty tail is the torn final write of a killed process:
+        # discarded, exactly like the manifest journal's.
+        del tail
+        return records
+
+    # ------------------------------------------------------------------ #
+    def append(self, record: Dict) -> None:
+        """Append one record (one flushed line); repeat ids are idempotent."""
+        if "id" not in record:
+            raise ValueError("a result record needs an 'id' field")
+        with self._lock:
+            if record["id"] in self._records:
+                return
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(_canonical_line(record) + "\n")
+            self._handle.flush()
+            self._records[record["id"]] = record
+
+    def close(self) -> None:
+        """Close the file handle (reopened lazily by the next append)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._records
+
+    def get(self, job_id: str) -> Optional[Dict]:
+        """The record for one job id, or ``None``."""
+        with self._lock:
+            return self._records.get(job_id)
+
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[Dict]:
+        """All records, sorted by job id (the canonical order)."""
+        with self._lock:
+            return [self._records[k] for k in sorted(self._records)]
+
+    def query(
+        self,
+        dataset: Optional[str] = None,
+        kind: Optional[str] = None,
+        weight_bits_used: Optional[int] = None,
+        min_accuracy_percent: Optional[float] = None,
+    ) -> List[Dict]:
+        """Records matching every given filter, in canonical (id) order.
+
+        The query surface Table I regeneration, the Pareto helpers and the
+        ``repro-jobs query`` CLI consume.
+
+        Example::
+
+            store.query(dataset="redwine", kind="ours")
+            store.query(min_accuracy_percent=80.0)
+        """
+        out = []
+        for record in self.records():
+            if dataset is not None and record.get("dataset") != dataset:
+                continue
+            if kind is not None and record.get("kind") != kind:
+                continue
+            if (
+                weight_bits_used is not None
+                and record.get("weight_bits_used") != weight_bits_used
+            ):
+                continue
+            if (
+                min_accuracy_percent is not None
+                and record.get("row", {}).get("accuracy_percent", 0.0)
+                < min_accuracy_percent
+            ):
+                continue
+            out.append(record)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def canonical_bytes(self) -> bytes:
+        """The compacted file content: records de-duplicated, id-sorted.
+
+        Two stores holding the same result set return identical bytes
+        regardless of arrival order — the bit-identity the crash-resume
+        test asserts.
+        """
+        lines = [_canonical_line(r) for r in self.records()]
+        return ("".join(line + "\n" for line in lines)).encode("utf-8")
+
+    def compact(self) -> Path:
+        """Atomically rewrite the file in canonical order; returns the path."""
+        payload = self.canonical_bytes()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
+        return self.path

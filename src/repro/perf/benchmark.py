@@ -546,6 +546,7 @@ def write_benchmark(
 from repro.core.benchcompare import (  # noqa: E402  (re-export)
     COMPARE_METRIC_SUFFIXES as _COMPARE_METRIC_SUFFIXES,
     BenchmarkBaselineError,
+    bad_input_exit,
     compare_benchmarks,
     load_baseline,
     metric_leaves as _metric_leaves,
@@ -592,10 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             baseline = load_baseline(args.baseline)
         except BenchmarkBaselineError as error:
-            import sys
-
-            print(f"bench_simulation --compare: {error}", file=sys.stderr)
-            return 2
+            return bad_input_exit("bench_simulation --compare", error)
     results = run_simulation_benchmark(fast=not args.full)
     if args.compare:
         compare_benchmarks(results, baseline)

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.benchcompare import (
     BenchmarkBaselineError,
+    bad_input_exit,
     compare_benchmarks,
     load_baseline,
 )
@@ -483,10 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             baseline = load_baseline(args.baseline)
         except BenchmarkBaselineError as error:
-            import sys
-
-            print(f"bench_serving --compare: {error}", file=sys.stderr)
-            return 2
+            return bad_input_exit("bench_serving --compare", error)
     results = run_serving_benchmark(
         dataset=args.dataset,
         kind=args.kind,

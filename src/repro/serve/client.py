@@ -122,13 +122,17 @@ class HTTPClient:
         timeout: float = 30.0,
         retries: int = 3,
         backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if max_backoff_s < 0:
+            raise ValueError("max_backoff_s must be >= 0")
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
@@ -182,13 +186,17 @@ class HTTPClient:
             ConnectionError,
         )
         with self._lock:
-            # Bounded resends on a fresh connection, backing off 50/100/200ms:
-            # covers the server dropping the kept socket between requests and
-            # (for callers passing retry_status) a 503 from a drain window.
+            # Bounded resends on a fresh connection, backing off 50/100/200ms
+            # (capped at max_backoff_s so a large retry budget cannot turn
+            # into minute-long exponential sleeps): covers the server
+            # dropping the kept socket between requests and (for callers
+            # passing retry_status) a 503 from a drain window.
             for attempt in range(self.retries + 1):
                 final = attempt == self.retries
                 if attempt:
-                    time.sleep(self.backoff_s * (1 << (attempt - 1)))
+                    time.sleep(
+                        min(self.backoff_s * (1 << (attempt - 1)), self.max_backoff_s)
+                    )
                 conn = self._connection()
                 try:
                     conn.request(method, url, body=data, headers=headers)

@@ -122,7 +122,14 @@ class ModelRegistry:
 
     def _wrap(self, result, name: str) -> ServedModel:
         """Build the served view, annotating MAC opt stats when requested."""
+        from repro.jobs.manifest import job_content_key
+
         model = ServedModel.from_flow_result(result, name=name)
+        # The content key the job service files this result under: lets a
+        # /models consumer join served metadata against a `repro-jobs` store.
+        model.info["flow_job_id"] = job_content_key(
+            result.dataset, result.kind, self.config
+        )
         if self.opt_level is not None:
             from repro.eval.table1 import design_mac_netlist
             from repro.hw.opt import optimize

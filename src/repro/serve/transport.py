@@ -159,6 +159,22 @@ class FrameConnection:
     def fileno(self) -> int:
         return self._sock.fileno()
 
+    def set_timeout(self, timeout: Optional[float]) -> None:
+        """Set a socket-level timeout for subsequent sends/receives.
+
+        ``None`` restores blocking mode.  A receive that trips the timeout
+        raises ``socket.timeout`` (an ``OSError``) — and because it may have
+        consumed part of a frame, the stream can no longer be resynchronized:
+        callers must treat a timed-out connection as dead (close it, kill the
+        peer), exactly as they would a :class:`TransportError`.
+
+        Example::
+
+            conn.set_timeout(5.0)      # per-job deadline
+            conn.set_timeout(None)     # back to blocking
+        """
+        self._sock.settimeout(timeout)
+
     # ------------------------------------------------------------------ #
     def send(self, kind: int, obj: Any) -> None:
         """Frame and send one message; raises ``OSError`` if the peer died."""

@@ -1,0 +1,167 @@
+"""Seeded, deterministic fault injection for the jobs test suite.
+
+The scheduler takes a ``connection_wrapper`` seam: every freshly spawned
+worker's :class:`~repro.serve.transport.FrameConnection` is passed through
+it before use.  :class:`ChaosPlan` builds :class:`FaultyConnection`
+wrappers from that seam and injects the failure modes the PR's robustness
+claims rest on:
+
+* **worker SIGKILL** — ``kill_on_send=N`` kills the worker process right
+  before that connection's Nth send (the scheduler sees a broken pipe or
+  EOF, i.e. a real crash);
+* **torn frames** — ``tear_on_recv=N`` raises
+  :class:`~repro.serve.transport.TransportError` on the Nth receive (a
+  peer that died mid-frame);
+* **delayed heartbeats** — ``delay_on_recv=N`` makes the Nth frame arrive
+  *after* the caller's deadline: the frame is received and dropped, and the
+  connection keeps listening, so the scheduler's heartbeat timeout trips
+  exactly as it would for a real late pong (optionally preceded by a
+  ``delay_recv_s`` sleep).
+
+Faults are addressed *per connection* in spawn order (connection 0 is the
+first worker spawned, replacements increment the index), each fault fires
+at a deterministic per-connection operation count, and every firing is
+recorded in :attr:`ChaosPlan.fired` so tests can assert the fault actually
+happened.  Mid-write scheduler death is injected elsewhere (monkeypatching
+``JobManifest._write_line`` / SIGKILLing the scheduler process) — it is a
+journal-layer fault, not a transport one.
+
+Example::
+
+    plan = ChaosPlan(faults={0: {"kill_on_send": 2}})
+    scheduler = JobScheduler(manifest, store,
+                             connection_wrapper=plan.wrapper(), ...)
+    scheduler.run()
+    assert ("kill_on_send", 0, 2) in plan.fired
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.transport import FrameConnection, TransportError
+
+#: Recognised per-connection fault keys.
+FAULT_KEYS = ("kill_on_send", "tear_on_recv", "delay_on_recv", "delay_recv_s")
+
+
+class FaultyConnection:
+    """A :class:`FrameConnection` wrapper that injects one plan's faults.
+
+    Delegates everything to the wrapped connection; faults fire on this
+    connection's own 1-based send/recv counters, exactly once each.
+    """
+
+    def __init__(
+        self,
+        plan: "ChaosPlan",
+        index: int,
+        faults: Dict,
+        conn: FrameConnection,
+        process,
+    ) -> None:
+        self._plan = plan
+        self._index = index
+        self._faults = dict(faults)
+        self._conn = conn
+        self._process = process
+        self._sends = 0
+        self._recvs = 0
+
+    # -- passthrough ----------------------------------------------------- #
+    @property
+    def fileno(self) -> int:
+        return self._conn.fileno
+
+    def set_timeout(self, timeout) -> None:
+        self._conn.set_timeout(timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- faulted operations ---------------------------------------------- #
+    def send(self, kind: int, obj) -> None:
+        self._sends += 1
+        if self._faults.get("kill_on_send") == self._sends:
+            # SIGKILL the worker and wait for the kernel to close its end,
+            # so this very send observes a real crash (EPIPE/ECONNRESET),
+            # not a race.
+            self._process.kill()
+            self._process.join(timeout=10.0)
+            self._plan.record("kill_on_send", self._index, self._sends)
+        self._conn.send(kind, obj)
+
+    def recv(self):
+        self._recvs += 1
+        if self._faults.get("tear_on_recv") == self._recvs:
+            self._plan.record("tear_on_recv", self._index, self._recvs)
+            raise TransportError("chaos: frame torn by fault injection")
+        if self._faults.get("delay_on_recv") == self._recvs:
+            # A frame that arrives after the deadline: consume and drop it,
+            # then keep listening — the caller's socket timeout fires just
+            # as it would for a genuinely late pong.
+            self._plan.record("delay_on_recv", self._index, self._recvs)
+            time.sleep(float(self._faults.get("delay_recv_s", 0.0)))
+            self._conn.recv()
+            return self._conn.recv()
+        return self._conn.recv()
+
+
+@dataclass
+class ChaosPlan:
+    """A deterministic fault schedule over a scheduler run's connections.
+
+    ``faults`` maps a connection index (spawn order, replacements counted)
+    to that connection's fault dict; ``default_faults`` applies to every
+    connection without an explicit entry (e.g. kill every worker's first
+    job send to exhaust a retry budget).
+
+    Example::
+
+        plan = ChaosPlan(default_faults={"kill_on_send": 2})
+        JobScheduler(..., connection_wrapper=plan.wrapper()).run()
+    """
+
+    faults: Dict[int, Dict] = field(default_factory=dict)
+    default_faults: Dict = field(default_factory=dict)
+    #: Every fault that fired: (fault_key, connection_index, op_count).
+    fired: List[Tuple[str, int, int]] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _connections: int = 0
+
+    def wrapper(self):
+        """The ``connection_wrapper`` callable the scheduler consumes."""
+
+        def wrap(conn: FrameConnection, process) -> FaultyConnection:
+            with self._lock:
+                index = self._connections
+                self._connections += 1
+            faults = self.faults.get(index, self.default_faults)
+            return FaultyConnection(self, index, faults, conn, process)
+
+        return wrap
+
+    def record(self, key: str, index: int, count: int) -> None:
+        with self._lock:
+            self.fired.append((key, index, count))
+
+
+def seeded_kill_plan(seed: int, max_send: int = 2) -> Tuple[ChaosPlan, int]:
+    """A worker-SIGKILL plan whose kill point is derived from ``seed``.
+
+    Used by the CI chaos step: ``REPRO_CHAOS_SEED`` varies the kill point
+    within the range every correct scheduler must survive, and the seed is
+    printed by the test so a failure reproduces exactly.
+
+    Example::
+
+        plan, kill_send = seeded_kill_plan(seed=7)
+        print(f"chaos seed 7 -> kill connection 0 on send {kill_send}")
+    """
+    rng = random.Random(seed)
+    kill_send = rng.randint(1, max_send)
+    return ChaosPlan(faults={0: {"kill_on_send": kill_send}}), kill_send

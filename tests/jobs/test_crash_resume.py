@@ -1,0 +1,152 @@
+"""The PR's acceptance test: SIGKILL a mid-grid scheduler, resume exactly.
+
+A 3x2 flow grid is drained by a scheduler that (a) has one worker SIGKILLed
+by the seeded chaos plan and (b) is itself SIGKILLed after its third
+completion.  A fresh scheduler then resumes from the manifest and must
+produce a result store *bit-identical* to an uninterrupted reference run —
+and a third pass over the warm flow cache must retrain nothing (the PR 2
+zero-retraining probe).
+
+The chaos point is seeded: ``REPRO_CHAOS_SEED`` (CI varies it) selects
+which send kills the first worker, and the seed is printed so any failure
+reproduces exactly.
+"""
+
+import multiprocessing
+import os
+import signal
+
+from jobs.chaos import seeded_kill_plan
+
+from repro.core.design_flow import clear_flow_cache, training_run_count
+from repro.core.flow_executor import FlowResultCache
+from repro.jobs import (
+    JobManifest,
+    JobScheduler,
+    ResultStore,
+    run_jobs,
+    submit_grid,
+)
+
+DATASETS = ["redwine", "cardio", "whitewine"]
+KINDS = ["ours", "mlp_parallel"]
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+#: SIGKILL the scheduler once this many jobs have completed (of 6).
+KILL_AFTER_DONE = 3
+
+
+def _chaos_scheduler_main(run_dir, cache_dir, config, seed):
+    """Child process: drain the grid under chaos, dying mid-grid.
+
+    Connection 0's worker is SIGKILLed at a seed-chosen send, and the
+    scheduler SIGKILLs *itself* (the hardest possible death: no cleanup, no
+    flush beyond what each append already did) after its third completion.
+    """
+    plan, kill_send = seeded_kill_plan(seed, max_send=2)
+    print(f"chaos seed {seed}: kill worker connection 0 on send {kill_send}")
+    dones = []
+
+    def progress(event, record):
+        if event == "done":
+            dones.append(record.job_id)
+            if len(dones) >= KILL_AFTER_DONE:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    manifest = JobManifest(run_dir / "manifest.jsonl")
+    submit_grid(manifest, DATASETS, KINDS, config)
+    store = ResultStore(run_dir / "results.jsonl")
+    JobScheduler(
+        manifest,
+        store,
+        cache=FlowResultCache(cache_dir),
+        workers=2,
+        job_timeout_s=300.0,
+        retry_backoff_s=0.01,
+        connection_wrapper=plan.wrapper(),
+        progress=progress,
+    ).run()
+
+
+def test_sigkilled_grid_resumes_bit_identical(tmp_path, tiny_flow_config):
+    print(f"REPRO_CHAOS_SEED={CHAOS_SEED}")
+
+    # ---- Reference: the same grid, uninterrupted, in its own cache. ------ #
+    clear_flow_cache()
+    dir_a = tmp_path / "reference"
+    dir_a.mkdir()
+    manifest_a = JobManifest(dir_a / "manifest.jsonl")
+    submit_grid(manifest_a, DATASETS, KINDS, tiny_flow_config)
+    store_a = ResultStore(dir_a / "results.jsonl")
+    summary_a = JobScheduler(
+        manifest_a,
+        store_a,
+        cache=FlowResultCache(tmp_path / "cache-a"),
+        workers=2,
+        retry_backoff_s=0.01,
+    ).run()
+    assert summary_a.completed == 6
+    assert summary_a.failed == 0
+    reference_bytes = store_a.canonical_bytes()
+    manifest_a.close(), store_a.close()
+
+    # ---- Chaos run: worker SIGKILL + scheduler SIGKILL mid-grid. --------- #
+    clear_flow_cache()  # the fork must not inherit warm in-process results
+    dir_b = tmp_path / "interrupted"
+    dir_b.mkdir()
+    cache_b = tmp_path / "cache-b"
+    child = multiprocessing.get_context("fork").Process(
+        target=_chaos_scheduler_main,
+        args=(dir_b, cache_b, tiny_flow_config, CHAOS_SEED),
+    )
+    child.start()
+    child.join(timeout=300)
+    assert not child.is_alive(), "chaos scheduler failed to die"
+    assert child.exitcode == -signal.SIGKILL  # it died by SIGKILL, mid-grid
+
+    interrupted = JobManifest(dir_b / "manifest.jsonl").reload()
+    done_before = len(interrupted.by_state("done"))
+    assert done_before >= KILL_AFTER_DONE  # it really was mid-grid...
+    assert done_before < len(DATASETS) * len(KINDS)  # ...not finished
+
+    # ---- Resume from the manifest with a fresh scheduler. ---------------- #
+    clear_flow_cache()
+    summary_resumed = run_jobs(
+        dir_b / "manifest.jsonl",
+        dir_b / "results.jsonl",
+        cache=FlowResultCache(cache_b),
+        workers=2,
+        retry_backoff_s=0.01,
+    )
+    assert summary_resumed.failed == 0
+    assert summary_resumed.manifest_counts["done"] == 6
+    assert summary_resumed.manifest_counts["pending"] == 0
+
+    store_b = ResultStore(dir_b / "results.jsonl")
+    assert store_b.canonical_bytes() == reference_bytes
+    # Compacted files are bit-identical too.
+    store_b.compact()
+    ResultStore(dir_a / "results.jsonl").compact()
+    assert (dir_b / "results.jsonl").read_bytes() == (
+        dir_a / "results.jsonl"
+    ).read_bytes()
+
+    # ---- Zero retraining: a fresh grid over the warm cache. -------------- #
+    clear_flow_cache()
+    dir_c = tmp_path / "warm"
+    dir_c.mkdir()
+    manifest_c = JobManifest(dir_c / "manifest.jsonl")
+    submit_grid(manifest_c, DATASETS, KINDS, tiny_flow_config)
+    store_c = ResultStore(dir_c / "results.jsonl")
+    trainings_before = training_run_count()
+    summary_c = JobScheduler(
+        manifest_c,
+        store_c,
+        cache=FlowResultCache(cache_b),
+        workers=2,
+        retry_backoff_s=0.01,
+    ).run()
+    assert summary_c.completed == 6
+    assert summary_c.cache_hits == 6  # every job answered by the cache
+    assert summary_c.trained == 0  # no worker ever dispatched
+    assert training_run_count() == trainings_before  # PR 2 probe: no training
+    assert store_c.canonical_bytes() == reference_bytes

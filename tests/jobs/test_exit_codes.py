@@ -1,0 +1,118 @@
+"""One exit-code contract across the maintenance CLIs (satellite 4).
+
+``bench_simulation --compare``, ``bench_serving --compare`` and every
+``repro-jobs`` subcommand share :mod:`repro.core.benchcompare`'s contract:
+exit 0 on success, exit 2 on bad input — reported as a *single* clear line
+on stderr, never a traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main_jobs
+from repro.core.benchcompare import EXIT_BAD_INPUT, EXIT_OK, bad_input_exit
+from repro.core.design_flow import FlowConfig
+from repro.jobs import JobManifest, JobSpec
+
+
+def _one_stderr_line(capsys):
+    err = capsys.readouterr().err
+    lines = [line for line in err.splitlines() if line]
+    assert len(lines) == 1, f"expected exactly one stderr line, got: {err!r}"
+    return lines[0]
+
+
+def test_bad_input_exit_helper(capsys):
+    assert EXIT_OK == 0
+    assert bad_input_exit("some-tool", ValueError("what went wrong")) == 2
+    line = _one_stderr_line(capsys)
+    assert line == "some-tool: what went wrong"
+
+
+class TestBenchCompare:
+    def test_bench_simulation_missing_baseline_exits_2(self, tmp_path, capsys):
+        from repro.perf.benchmark import main
+
+        rc = main(["--compare", "--baseline", str(tmp_path / "nope.json")])
+        assert rc == EXIT_BAD_INPUT
+        line = _one_stderr_line(capsys)
+        assert line.startswith("bench_simulation --compare: baseline ")
+
+    def test_bench_serving_malformed_baseline_exits_2(self, tmp_path, capsys):
+        from repro.serve.bench import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["--compare", "--baseline", str(bad)])
+        assert rc == EXIT_BAD_INPUT
+        line = _one_stderr_line(capsys)
+        assert line.startswith("bench_serving --compare: baseline ")
+
+
+class TestJobsCli:
+    def test_status_missing_manifest_exits_2(self, tmp_path, capsys):
+        rc = main_jobs(["status", "--dir", str(tmp_path / "nowhere")])
+        assert rc == EXIT_BAD_INPUT
+        line = _one_stderr_line(capsys)
+        assert line.startswith("repro-jobs status: ")
+        assert "no job manifest" in line
+
+    def test_resume_missing_manifest_exits_2(self, tmp_path, capsys):
+        rc = main_jobs(["resume", "--dir", str(tmp_path / "nowhere")])
+        assert rc == EXIT_BAD_INPUT
+        line = _one_stderr_line(capsys)
+        assert line.startswith("repro-jobs resume: ")
+
+    def test_query_missing_store_exits_2(self, tmp_path, capsys):
+        rc = main_jobs(["query", "--dir", str(tmp_path / "nowhere")])
+        assert rc == EXIT_BAD_INPUT
+        line = _one_stderr_line(capsys)
+        assert line.startswith("repro-jobs query: ")
+        assert "no result store" in line
+
+    def test_status_corrupt_manifest_exits_2(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.jsonl").write_text("garbage\n{}\n")
+        rc = main_jobs(["status", "--dir", str(run_dir)])
+        assert rc == EXIT_BAD_INPUT
+        line = _one_stderr_line(capsys)
+        assert line.startswith("repro-jobs status: ")
+
+    def test_status_valid_manifest_exits_0(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        with JobManifest(run_dir / "manifest.jsonl") as manifest:
+            manifest.submit(JobSpec("redwine", "ours", FlowConfig()))
+        rc = main_jobs(["status", "--dir", str(run_dir)])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "redwine/ours" in captured.out
+
+    def test_query_valid_store_exits_0(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        record = {
+            "id": "aa",
+            "dataset": "redwine",
+            "kind": "ours",
+            "row": {"accuracy_percent": 80.0},
+            "weight_bits_used": 6,
+        }
+        (run_dir / "results.jsonl").write_text(json.dumps(record) + "\n")
+        rc = main_jobs(["query", "--dir", str(run_dir), "--dataset", "redwine"])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert '"id": "aa"' in captured.out
+
+
+def test_contract_is_shared():
+    """The jobs CLI and the bench CLIs literally share one helper/constants."""
+    import repro.perf.benchmark as bench_sim
+    import repro.serve.bench as bench_srv
+    from repro.core import benchcompare
+
+    assert bench_sim.bad_input_exit is benchcompare.bad_input_exit
+    assert bench_srv.bad_input_exit is benchcompare.bad_input_exit

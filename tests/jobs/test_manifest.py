@@ -1,0 +1,252 @@
+"""Manifest journal tests: round trips, crash truncation, replay (PR 9).
+
+The hypothesis properties are the PR's satellite 1: *arbitrary*
+interleavings of journal appends, crash-truncations and reloads must
+converge to one consistent pending set, with a torn final line discarded —
+never fatal.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_flow import FlowConfig
+from repro.jobs import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    JobManifest,
+    JobSpec,
+    ManifestError,
+    job_content_key,
+    replay_journal,
+)
+
+CONFIG = FlowConfig()
+
+SPEC_POOL = [
+    JobSpec("redwine", "ours", CONFIG),
+    JobSpec("cardio", "ours", CONFIG),
+    JobSpec("pendigits", "mlp_parallel", CONFIG),
+]
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic unit tests
+# --------------------------------------------------------------------------- #
+class TestJournalBasics:
+    def test_job_id_is_content_keyed(self):
+        spec = SPEC_POOL[0]
+        assert spec.job_id == job_content_key("redwine", "ours", CONFIG)
+        assert len(spec.job_id) == 16
+        # A config change changes the identity; a duplicate spec does not.
+        other = JobSpec("redwine", "ours", FlowConfig(n_samples=123))
+        assert other.job_id != spec.job_id
+        assert JobSpec("redwine", "ours", FlowConfig()).job_id == spec.job_id
+
+    def test_submit_roundtrip_and_duplicate_noop(self, tmp_path):
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        job_id = manifest.submit(SPEC_POOL[0])
+        assert manifest.submit(SPEC_POOL[0]) == job_id
+        reloaded = JobManifest(manifest.path)
+        assert list(reloaded.state.jobs) == [job_id]
+        record = reloaded.state.jobs[job_id]
+        assert record.state == PENDING
+        assert record.spec == SPEC_POOL[0]
+        # The journal holds exactly one submit line.
+        lines = manifest.path.read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_full_lifecycle_replays(self, tmp_path):
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        a = manifest.submit(SPEC_POOL[0])
+        b = manifest.submit(SPEC_POOL[1])
+        manifest.start(a, attempt=1)
+        manifest.retry(a, attempt=1, error="worker crashed")
+        manifest.start(a, attempt=2)
+        manifest.done(a, source="trained")
+        manifest.start(b, attempt=1)
+        manifest.failed(b, error="bad dataset")
+        state = JobManifest(manifest.path).state
+        assert state.jobs[a].state == DONE
+        assert state.jobs[a].attempts == 2
+        assert state.jobs[a].source == "trained"
+        assert state.jobs[b].state == FAILED
+        assert "bad dataset" in state.jobs[b].error
+
+    def test_torn_final_line_is_discarded_not_fatal(self, tmp_path):
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        a = manifest.submit(SPEC_POOL[0])
+        manifest.close()
+        with manifest.path.open("a") as handle:
+            handle.write('{"event": "done", "id": "' + a)  # no newline: torn
+        state = replay_journal(manifest.path.read_text())
+        assert state.discarded_torn_tail
+        assert state.jobs[a].state == PENDING
+        # And the manifest class itself loads it the same way.
+        assert JobManifest(manifest.path).state.jobs[a].state == PENDING
+
+    def test_mid_file_corruption_is_fatal(self, tmp_path):
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        manifest.submit(SPEC_POOL[0])
+        manifest.close()
+        text = manifest.path.read_text()
+        manifest.path.write_text("NOT JSON\n" + text)
+        with pytest.raises(ManifestError):
+            JobManifest(manifest.path)
+
+    def test_event_for_unknown_job_is_fatal(self):
+        with pytest.raises(ManifestError):
+            replay_journal('{"event": "done", "id": "feedbeef", "source": "cache"}\n')
+
+    def test_edited_submit_id_is_fatal(self, tmp_path):
+        doc = {"event": "submit", "id": "0" * 16, "job": SPEC_POOL[0].to_json()}
+        with pytest.raises(ManifestError):
+            replay_journal(json.dumps(doc) + "\n")
+
+    def test_unknown_events_are_skipped(self, tmp_path):
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        a = manifest.submit(SPEC_POOL[0])
+        manifest.close()
+        with manifest.path.open("a") as handle:
+            handle.write(json.dumps({"event": "lease", "id": a}) + "\n")
+        assert JobManifest(manifest.path).state.jobs[a].state == PENDING
+
+    def test_reload_normalises_running_to_pending(self, tmp_path):
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        a = manifest.submit(SPEC_POOL[0])
+        manifest.start(a, attempt=1)
+        assert manifest.state.jobs[a].state == RUNNING
+        state = manifest.reload()
+        assert state.jobs[a].state == PENDING
+        assert manifest.pending_ids() == [a]
+
+    def test_mid_write_death_leaves_resumable_journal(self, tmp_path):
+        """A scheduler SIGKILLed halfway through a journal write."""
+        manifest = JobManifest(tmp_path / "m.jsonl")
+        a = manifest.submit(SPEC_POOL[0])
+        b = manifest.submit(SPEC_POOL[1])
+        manifest.start(a, attempt=1)
+        manifest.close()
+        # Die mid-write of the `done` line: half the bytes, no newline.
+        line = json.dumps({"event": "done", "id": a, "source": "trained"})
+        with manifest.path.open("a") as handle:
+            handle.write(line[: len(line) // 2])
+        resumed = JobManifest(manifest.path)
+        assert resumed.state.discarded_torn_tail
+        state = resumed.reload()
+        # The half-written `done` never happened; both jobs are owed work.
+        assert state.jobs[a].state == PENDING
+        assert state.jobs[b].state == PENDING
+        assert set(resumed.pending_ids()) == {a, b}
+
+
+# --------------------------------------------------------------------------- #
+# Property-based round trips (satellite 1)
+# --------------------------------------------------------------------------- #
+#: One journal op: (op_kind, spec_or_job_selector).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["submit", "start", "retry", "done", "failed"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=30,
+)
+
+
+def _apply_ops(manifest: JobManifest, ops) -> None:
+    """Drive a manifest through an arbitrary (always-legal) op sequence."""
+    submitted = []
+    for op, selector in ops:
+        if op == "submit":
+            submitted.append(manifest.submit(SPEC_POOL[selector % len(SPEC_POOL)]))
+            continue
+        if not submitted:
+            continue
+        job_id = submitted[selector % len(submitted)]
+        attempts = manifest.state.jobs[job_id].attempts
+        if op == "start":
+            manifest.start(job_id, attempt=attempts + 1)
+        elif op == "retry":
+            manifest.retry(job_id, attempt=attempts, error="chaos")
+        elif op == "done":
+            manifest.done(job_id, source="trained" if selector % 2 else "cache")
+        elif op == "failed":
+            manifest.failed(job_id, error="chaos")
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_property_journal_roundtrip(ops):
+    """Replay-from-disk always equals the live in-memory state."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "m.jsonl"
+        manifest = JobManifest(path)
+        _apply_ops(manifest, ops)
+        manifest.close()
+        replayed = JobManifest(path).state
+        live = manifest.state
+        assert set(replayed.jobs) == set(live.jobs)
+        for job_id, record in live.jobs.items():
+            twin = replayed.jobs[job_id]
+            assert twin.state == record.state
+            assert twin.attempts == record.attempts
+            assert twin.source == record.source
+            assert twin.spec == record.spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS, cut=st.integers(min_value=0, max_value=10_000))
+def test_property_crash_truncation_never_fatal(ops, cut):
+    """Any prefix of a valid journal replays: only the tail can be torn."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "m.jsonl"
+        manifest = JobManifest(path)
+        _apply_ops(manifest, ops)
+        manifest.close()
+        text = path.read_text() if path.is_file() else ""
+        prefix = text[: cut % (len(text) + 1)]
+        state = replay_journal(prefix)  # must never raise
+        # The torn-tail flag is exact: set iff bytes follow the last newline.
+        newline_end = prefix.rfind("\n") + 1
+        assert state.discarded_torn_tail == (len(prefix) > newline_end)
+        # Replaying the complete lines alone gives the identical state.
+        clean = replay_journal(prefix[:newline_end])
+        assert set(state.jobs) == set(clean.jobs)
+        for job_id in state.jobs:
+            assert state.jobs[job_id].state == clean.jobs[job_id].state
+            assert state.jobs[job_id].attempts == clean.jobs[job_id].attempts
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS, cut=st.integers(min_value=0, max_value=10_000))
+def test_property_truncate_reload_converges(ops, cut):
+    """Crash-truncate + reload always yields a consistent pending set."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "m.jsonl"
+        manifest = JobManifest(path)
+        _apply_ops(manifest, ops)
+        manifest.close()
+        text = path.read_text() if path.is_file() else ""
+        path.write_text(text[: cut % (len(text) + 1)])
+        resumed = JobManifest(path)
+        state = resumed.reload()
+        for record in state.jobs.values():
+            assert record.state in JOB_STATES
+            assert record.state != RUNNING  # normalised for resume
+            assert record.attempts >= 0
+            if record.state == DONE:
+                assert record.source in ("trained", "cache")
+        # pending set = everything submitted minus the terminal states.
+        terminal = {
+            job_id
+            for job_id, record in state.jobs.items()
+            if record.state in (DONE, FAILED)
+        }
+        assert set(resumed.pending_ids()) == set(state.jobs) - terminal

@@ -1,0 +1,138 @@
+"""Result-store tests: append/dedupe, querying, canonical bytes, crashes."""
+
+import json
+
+import pytest
+
+from repro.jobs import ResultStore, StoreError
+
+
+def _record(job_id, dataset="redwine", kind="ours", accuracy=80.0, bits=6):
+    return {
+        "id": job_id,
+        "dataset": dataset,
+        "kind": kind,
+        "row": {"accuracy_percent": accuracy, "energy_mj": 1.5},
+        "float_accuracy_percent": accuracy + 1.0,
+        "weight_bits_used": bits,
+        "cycles_per_classification": 12,
+    }
+
+
+class TestAppendAndLoad:
+    def test_append_persists_one_canonical_line(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("aa"))
+        store.close()
+        text = (tmp_path / "r.jsonl").read_text()
+        assert text.endswith("\n")
+        (line,) = text.splitlines()
+        assert json.loads(line)["id"] == "aa"
+        # Canonical formatting: sorted keys, no spaces.
+        assert line == json.dumps(json.loads(line), sort_keys=True, separators=(",", ":"))
+
+    def test_duplicate_append_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("aa"))
+        store.append(_record("aa", accuracy=99.0))  # resume replay: ignored
+        assert len(store) == 1
+        assert store.get("aa")["row"]["accuracy_percent"] == 80.0
+        store.close()
+        assert len((tmp_path / "r.jsonl").read_text().splitlines()) == 1
+
+    def test_record_without_id_is_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with pytest.raises(ValueError):
+            store.append({"dataset": "redwine"})
+
+    def test_reload_roundtrip(self, tmp_path):
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            store.append(_record("bb"))
+            store.append(_record("aa"))
+        twin = ResultStore(tmp_path / "r.jsonl")
+        assert len(twin) == 2
+        assert "aa" in twin and "bb" in twin
+        assert [r["id"] for r in twin.records()] == ["aa", "bb"]
+
+    def test_torn_final_line_is_discarded(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(_record("aa"))
+        with path.open("a") as handle:
+            handle.write('{"id": "bb", "dataset": "car')  # no newline: torn
+        twin = ResultStore(path)
+        assert len(twin) == 1
+        assert "bb" not in twin
+
+    def test_mid_file_corruption_is_fatal(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(_record("aa"))
+        path.write_text("garbage\n" + path.read_text())
+        with pytest.raises(StoreError):
+            ResultStore(path)
+
+    def test_non_record_line_is_fatal(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"dataset": "redwine"}\n{"id": "aa"}\n')
+        with pytest.raises(StoreError):
+            ResultStore(path)
+
+
+class TestQuery:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("a1", "redwine", "ours", accuracy=85.0, bits=6))
+        store.append(_record("a2", "redwine", "mlp_parallel", accuracy=70.0, bits=4))
+        store.append(_record("a3", "cardio", "ours", accuracy=90.0, bits=6))
+        return store
+
+    def test_filters_compose(self, store):
+        assert [r["id"] for r in store.query(dataset="redwine")] == ["a1", "a2"]
+        assert [r["id"] for r in store.query(kind="ours")] == ["a1", "a3"]
+        assert [r["id"] for r in store.query(dataset="redwine", kind="ours")] == ["a1"]
+        assert store.query(dataset="redwine", kind="svm_parallel_exact") == []
+
+    def test_precision_and_accuracy_filters(self, store):
+        assert [r["id"] for r in store.query(weight_bits_used=4)] == ["a2"]
+        assert [r["id"] for r in store.query(min_accuracy_percent=84.0)] == ["a1", "a3"]
+
+    def test_no_filters_returns_all_in_id_order(self, store):
+        assert [r["id"] for r in store.query()] == ["a1", "a2", "a3"]
+
+
+class TestCanonicalBytes:
+    def test_order_independent(self, tmp_path):
+        a = ResultStore(tmp_path / "a.jsonl")
+        b = ResultStore(tmp_path / "b.jsonl")
+        records = [_record("x1"), _record("x2", "cardio"), _record("x3", "pendigits")]
+        for record in records:
+            a.append(record)
+        for record in reversed(records):
+            b.append(record)
+        assert a.canonical_bytes() == b.canonical_bytes()
+        # On-disk order differs until compaction...
+        a.close(), b.close()
+        assert (tmp_path / "a.jsonl").read_bytes() != (tmp_path / "b.jsonl").read_bytes()
+        # ...after which the files themselves are bit-identical.
+        a.compact(), b.compact()
+        assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
+        assert (tmp_path / "a.jsonl").read_bytes() == a.canonical_bytes()
+
+    def test_compact_collapses_resume_duplicates(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        line = json.dumps(_record("aa"), sort_keys=True, separators=(",", ":"))
+        path.write_text(line + "\n" + line + "\n")  # crash-window duplicate
+        store = ResultStore(path)
+        assert len(store) == 1
+        store.compact()
+        assert path.read_text() == line + "\n"
+
+    def test_append_after_compact_reopens(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(_record("aa"))
+        store.compact()
+        store.append(_record("bb"))
+        store.close()
+        assert len(ResultStore(tmp_path / "r.jsonl")) == 2
